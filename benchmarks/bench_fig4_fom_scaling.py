@@ -1,0 +1,62 @@
+"""Fig. 4 — PIConGPU FOM weak scaling from 24 to 36 864 GPUs.
+
+Two parts:
+
+* the *measured* part times real PIC steps of this repository's simulator
+  and reports its (single-process) figure of merit,
+* the *modelled* part regenerates the Frontier and Summit weak-scaling
+  curves with the calibrated FOM model, checking the paper's headline
+  numbers (65.3 vs 14.7 TeraUpdates/s) and the near-ideal weak scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.fom import FOMScalingModel
+from repro.pic.khi import KHIConfig, make_khi_simulation
+
+
+def test_fig4_measured_local_fom(benchmark):
+    """Measure the real (laptop-scale) simulator FOM for context."""
+    config = KHIConfig(grid_shape=(12, 24, 2), particles_per_cell=4, seed=3)
+
+    def run():
+        simulation = make_khi_simulation(config)
+        return simulation.run(3)
+
+    fom = benchmark.pedantic(run, iterations=1, rounds=3)
+    benchmark.extra_info["local_fom_updates_per_s"] = f"{fom.value:.3e}"
+    benchmark.extra_info["local_particle_updates_per_s"] = \
+        f"{fom.particle_updates_per_second:.3e}"
+    assert fom.value > 0
+
+
+def test_fig4_frontier_vs_summit_weak_scaling(benchmark):
+    """Regenerate the Fig. 4 weak-scaling curves from the calibrated model."""
+    frontier = FOMScalingModel.frontier_calibrated()
+    summit = FOMScalingModel.summit_calibrated()
+
+    def scan():
+        counts = FOMScalingModel.paper_gpu_counts()
+        return frontier.scan(counts), summit.scan([24, 96, 384, 1536, 6144, 27648])
+
+    frontier_points, summit_points = benchmark(scan)
+
+    series = {f"frontier_{p.n_gpus}_gpus_TUps": round(p.tera_updates_per_second, 2)
+              for p in frontier_points}
+    series.update({f"summit_{p.n_gpus}_gpus_TUps": round(p.tera_updates_per_second, 2)
+                   for p in summit_points})
+    benchmark.extra_info.update(series)
+
+    # headline numbers of the paper
+    assert frontier_points[-1].tera_updates_per_second == pytest.approx(65.3, rel=0.01)
+    assert summit_points[-1].tera_updates_per_second == pytest.approx(14.7, rel=0.01)
+    # weak scaling is close to ideal: per-GPU FOM varies by < 10 %
+    per_gpu = np.array([p.fom_updates_per_second / p.n_gpus for p in frontier_points])
+    assert per_gpu.min() > 0.9 * per_gpu.max()
+    # Frontier beats Summit by roughly the paper's factor (~4.4x)
+    ratio = frontier_points[-1].tera_updates_per_second \
+        / summit_points[-1].tera_updates_per_second
+    assert 3.5 < ratio < 5.5

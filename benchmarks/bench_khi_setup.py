@@ -1,0 +1,65 @@
+"""Table A (Section IV-A) — the KHI simulation setup and its cost.
+
+Checks the paper's setup constants (smallest volume 192×256×12 cells on 16
+GPUs, cubic cells of 93.5 µm, beta = 0.2, 9 particles per cell, density
+1e25 m^-3) and measures the per-step cost of the scaled-down KHI run, from
+which the full-scale run time claim ("one thousand time steps completed in
+a mere 6.5 minutes") is cross-checked with the FOM model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.perfmodel.fom import FOMScalingModel
+from repro.pic.khi import KHIConfig, make_khi_simulation
+
+
+def test_tableA_khi_setup_constants(benchmark):
+    def build():
+        return KHIConfig.paper()
+
+    config = benchmark(build)
+    benchmark.extra_info["grid"] = "x".join(str(n) for n in config.grid_shape)
+    benchmark.extra_info["cell_size_um"] = config.cell_size * 1e6
+    benchmark.extra_info["particles_per_cell"] = config.particles_per_cell
+    benchmark.extra_info["beta"] = config.beta
+    benchmark.extra_info["macro_electrons"] = config.n_macro_electrons
+
+    assert config.grid_shape == (192, 256, 12)
+    assert config.cell_size == pytest.approx(93.5e-6)
+    assert config.particles_per_cell == 9
+    assert config.beta == pytest.approx(0.2)
+    assert constants.PAPER_SMALLEST_GPUS == 16
+    assert config.n_macro_electrons == 192 * 256 * 12 * 9
+
+
+def test_tableA_scaled_khi_step_cost(benchmark):
+    """Per-step wall time of the scaled-down KHI run on this machine."""
+    config = KHIConfig(grid_shape=(12, 24, 2), particles_per_cell=6, seed=2)
+    simulation = make_khi_simulation(config)
+    simulation.run(1)  # warm-up / initial transient
+
+    benchmark(simulation.step)
+
+    benchmark.extra_info["macro_particles"] = simulation.n_macro_particles
+    benchmark.extra_info["cells"] = config.grid_config.n_cells
+    benchmark.extra_info["omega_p_dt"] = round(config.omega_p_dt(), 3)
+    assert config.omega_p_dt() < 2.0
+
+
+def test_tableA_full_scale_runtime_claim(benchmark):
+    """'One thousand time steps completed in a mere 6.5 minutes' on Frontier."""
+    model = FOMScalingModel.frontier_calibrated()
+
+    def estimate():
+        particles_per_gpu = 2.7e13 / 36_864
+        cells_per_gpu = 1.0e12 / 36_864
+        return 1000 * model.time_per_step(particles_per_gpu, cells_per_gpu, 36_864)
+
+    seconds = benchmark(estimate)
+    benchmark.extra_info["estimated_minutes_for_1000_steps"] = round(seconds / 60, 1)
+    # same order of magnitude as the paper's 6.5 minutes
+    assert 2 * 60 < seconds < 20 * 60

@@ -1,0 +1,91 @@
+"""Fig. 2 / Fig. 7 — cost of the three model tasks and of one training pass.
+
+Times the building blocks of the architecture at the benchmark (small)
+configuration: the VAE compression/decompression path, the INN surrogate
+(forward) and inversion (backward) passes, and one full training pass with
+the five-term loss of Eq. (1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mlcore.tensor import Tensor, no_grad
+from repro.models import (ArtificialScientistModel, CombinedLoss, ModelConfig,
+                          paper_config)
+
+
+CFG = ModelConfig(n_input_points=128, encoder_channels=(16, 32, 64),
+                  encoder_head_hidden=48, latent_dim=48,
+                  decoder_grid=(2, 2, 2), decoder_channels=(16, 8, 6),
+                  spectrum_dim=16, inn_blocks=4, inn_hidden=(48, 48))
+BATCH = 8
+
+
+def make_inputs(rng):
+    clouds = Tensor(rng.normal(size=(BATCH, CFG.n_input_points, CFG.point_dim)))
+    spectra = Tensor(rng.random((BATCH, CFG.spectrum_dim)))
+    return clouds, spectra
+
+
+def test_fig2b_vae_compression_pass(benchmark, rng):
+    model = ArtificialScientistModel(CFG, rng=rng)
+    clouds, _ = make_inputs(rng)
+
+    def compress_decompress():
+        with no_grad():
+            return model.vae(clouds)[0]
+
+    out = benchmark(compress_decompress)
+    benchmark.extra_info["output_points"] = CFG.n_output_points
+    assert out.shape == (BATCH, CFG.n_output_points, CFG.point_dim)
+
+
+def test_fig2c_surrogate_forward_pass(benchmark, rng):
+    model = ArtificialScientistModel(CFG, rng=rng)
+    clouds, _ = make_inputs(rng)
+    cloud_array = clouds.numpy()
+
+    spectrum = benchmark(lambda: model.predict_radiation_from_particles(cloud_array))
+    assert spectrum.shape == (BATCH, CFG.spectrum_dim)
+
+
+def test_fig2a_inversion_backward_pass(benchmark, rng):
+    model = ArtificialScientistModel(CFG, rng=rng)
+    spectra = rng.random((BATCH, CFG.spectrum_dim))
+
+    clouds = benchmark(lambda: model.predict_particles_from_radiation(spectra, n_samples=2))
+    assert clouds.shape == (BATCH, 2, CFG.n_output_points, CFG.point_dim)
+
+
+def test_fig7_full_training_pass(benchmark, rng):
+    model = ArtificialScientistModel(CFG, rng=rng)
+    loss = CombinedLoss()
+    clouds, spectra = make_inputs(rng)
+
+    def train_pass():
+        model.zero_grad()
+        total = loss(model(clouds, spectra), clouds, spectra)
+        total.backward()
+        return total.item()
+
+    value = benchmark(train_pass)
+    benchmark.extra_info["model_parameters"] = model.num_parameters()
+    benchmark.extra_info["loss_terms"] = str({k: round(v, 3)
+                                              for k, v in loss.last_terms.items()})
+    assert value > 0
+
+
+def test_fig7_paper_architecture_size(benchmark):
+    """Instantiate the paper-sized architecture and report its parameter count."""
+    def build():
+        return ArtificialScientistModel(paper_config(), rng=np.random.default_rng(0))
+
+    model = benchmark.pedantic(build, iterations=1, rounds=1)
+    n_params = model.num_parameters()
+    benchmark.extra_info["paper_model_parameters"] = n_params
+    benchmark.extra_info["gradient_megabytes_fp64"] = round(n_params * 8 / 1e6, 1)
+    # the paper states the model fits on a single GCD (64 GB): trivially true here
+    assert n_params * 8 < 64e9
+    assert n_params > 1e6

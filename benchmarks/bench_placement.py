@@ -1,0 +1,40 @@
+"""Fig. 3(c) — intra-node vs inter-node placement of producer and consumer.
+
+The paper chooses the intra-node setup (4 GCDs for PIConGPU + 4 GCDs for the
+MLapp on every node) so that the data exchange "mostly does not need to
+leave the node".  This benchmark quantifies that choice: the per-node
+exchange time of the paper's 5.86 GB/node/step payload under both placements
+and the resource split each placement produces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.placement import PlacementMode, ResourcePlan
+from repro.perfmodel.streaming import PAPER_BYTES_PER_NODE
+
+
+def test_fig3c_placement_comparison(benchmark):
+    def compare():
+        intra = ResourcePlan(n_nodes=96, mode=PlacementMode.INTRA_NODE,
+                             producer_gcds_per_node=4)
+        inter = ResourcePlan(n_nodes=96, mode=PlacementMode.INTER_NODE,
+                             consumer_node_fraction=0.5)
+        return intra, inter
+
+    intra, inter = benchmark(compare)
+
+    intra_time = intra.exchange_time_per_step(PAPER_BYTES_PER_NODE)
+    inter_time = inter.exchange_time_per_step(PAPER_BYTES_PER_NODE)
+    benchmark.extra_info["intra_node_exchange_s"] = round(intra_time, 3)
+    benchmark.extra_info["inter_node_exchange_s"] = round(inter_time, 3)
+    benchmark.extra_info["intra_node_split"] = str(intra.describe())
+    benchmark.extra_info["inter_node_split"] = str(inter.describe())
+
+    # the intra-node placement moves data strictly faster per node
+    assert intra_time < inter_time
+    # and the paper's 4/4 GCD split leaves half the node to each application
+    assert intra.total_producer_gcds == intra.total_consumer_gcds
+    # inter-node placement dedicates whole nodes instead
+    assert inter.producer_nodes + inter.consumer_nodes == 96

@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file
+exists so that ``pip install -e .`` also works on offline machines whose
+setuptools cannot build PEP 660 editable wheels (no ``wheel`` package
+available): ``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

@@ -1,0 +1,191 @@
+"""End-to-end evaluation of the inversion (the quantitative side of Fig. 9).
+
+Given a trained :class:`repro.models.ArtificialScientistModel` and a set of
+evaluation samples (sub-volume point clouds with their observed spectra and
+region labels), the evaluation
+
+1. inverts each spectrum back to particle point clouds (INN backward +
+   decoder),
+2. compares the predicted momentum distribution with the ground truth per
+   region (peak/mean momentum, histogram distance, detection of the two
+   vortex populations),
+3. runs the surrogate direction (particles → spectrum) and reports its MSE,
+4. fits the latent regime classifier and reports its accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.classifier import LatentRegimeClassifier
+from repro.analysis.histograms import (detects_two_populations, histogram_distance,
+                                       mean_momentum, momentum_histogram, peak_momentum)
+from repro.analysis.regions import REGION_NAMES
+from repro.continual.buffer import TrainingSample
+from repro.models.model import ArtificialScientistModel
+from repro.utils.rng import RandomState, seeded_rng
+
+#: Region name -> integer label (inverse of REGION_NAMES).
+_REGION_IDS = {name: idx for idx, name in REGION_NAMES.items()}
+
+
+@dataclass
+class RegionEvaluation:
+    """Ground-truth vs prediction comparison for one region."""
+
+    region: str
+    n_samples: int
+    true_peak: float
+    predicted_peak: float
+    true_mean: float
+    predicted_mean: float
+    histogram_l1: float
+    two_populations_true: bool
+    two_populations_predicted: bool
+
+    @property
+    def peak_error(self) -> float:
+        return abs(self.predicted_peak - self.true_peak)
+
+    @property
+    def mean_error(self) -> float:
+        return abs(self.predicted_mean - self.true_mean)
+
+
+@dataclass
+class InversionReport:
+    """Full evaluation across regions plus global metrics."""
+
+    regions: Dict[str, RegionEvaluation]
+    surrogate_spectrum_mse: float
+    latent_classifier_accuracy: float
+    n_evaluation_samples: int
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Tabular view (one row per region) for printing/EXPERIMENTS.md."""
+        rows = []
+        for name, ev in sorted(self.regions.items()):
+            rows.append({
+                "region": name,
+                "n_samples": ev.n_samples,
+                "true_peak": round(ev.true_peak, 4),
+                "predicted_peak": round(ev.predicted_peak, 4),
+                "peak_error": round(ev.peak_error, 4),
+                "true_mean": round(ev.true_mean, 4),
+                "predicted_mean": round(ev.predicted_mean, 4),
+                "histogram_l1": round(ev.histogram_l1, 4),
+                "two_populations_true": ev.two_populations_true,
+                "two_populations_predicted": ev.two_populations_predicted,
+            })
+        return rows
+
+    def summary(self) -> Dict[str, float]:
+        peaks = [ev.peak_error for ev in self.regions.values()]
+        return {
+            "mean_peak_error": float(np.mean(peaks)) if peaks else float("nan"),
+            "surrogate_spectrum_mse": self.surrogate_spectrum_mse,
+            "latent_classifier_accuracy": self.latent_classifier_accuracy,
+        }
+
+
+def _momentum_from_cloud(cloud: np.ndarray, momentum_axis: int = 3) -> np.ndarray:
+    """Extract the detector-direction momentum column from (…, 6) point clouds."""
+    return np.asarray(cloud)[..., momentum_axis]
+
+
+def evaluate_inversion(model: ArtificialScientistModel,
+                       samples: Sequence[TrainingSample],
+                       n_posterior_samples: int = 4,
+                       bins: int = 48,
+                       momentum_range=( -0.35, 0.35),
+                       rng: RandomState = None) -> InversionReport:
+    """Evaluate the trained model on held-out samples.
+
+    Parameters
+    ----------
+    model:
+        The trained VAE + INN.
+    samples:
+        Evaluation samples with ``region`` labels set (as produced by
+        :func:`repro.core.transforms.make_training_samples`).
+    n_posterior_samples:
+        Posterior draws per spectrum for the inversion.
+    """
+    if not samples:
+        raise ValueError("need at least one evaluation sample")
+    rng = seeded_rng(rng)
+
+    # group samples by region
+    by_region: Dict[str, List[TrainingSample]] = {}
+    for sample in samples:
+        by_region.setdefault(sample.region or "bulk", []).append(sample)
+
+    region_evaluations: Dict[str, RegionEvaluation] = {}
+    surrogate_errors: List[float] = []
+    latents: List[np.ndarray] = []
+    labels: List[int] = []
+
+    for region, region_samples in by_region.items():
+        true_momenta = np.concatenate(
+            [_momentum_from_cloud(s.point_cloud) for s in region_samples])
+        spectra = np.stack([s.spectrum for s in region_samples], axis=0)
+
+        predicted_clouds = model.predict_particles_from_radiation(
+            spectra, n_samples=n_posterior_samples)
+        predicted_momenta = _momentum_from_cloud(predicted_clouds).reshape(-1)
+
+        # An untrained / partially trained decoder can produce momenta outside
+        # the physical range; clip them onto the histogram range so the
+        # comparison stays well defined without coarsening the binning.
+        low, high = momentum_range
+        span = high - low
+        predicted_clipped = np.clip(predicted_momenta, low + 1e-6 * span,
+                                    high - 1e-6 * span)
+
+        true_centres, true_hist = momentum_histogram(true_momenta[:, None] if
+                                                     true_momenta.ndim == 1 else true_momenta,
+                                                     bins=bins, momentum_range=momentum_range,
+                                                     axis=0)
+        pred_centres, pred_hist = momentum_histogram(predicted_clipped[:, None],
+                                                     bins=bins, momentum_range=momentum_range,
+                                                     axis=0)
+
+        # surrogate: particles -> spectrum
+        clouds = np.stack([s.point_cloud for s in region_samples], axis=0)
+        predicted_spectra = model.predict_radiation_from_particles(clouds)
+        surrogate_errors.append(float(np.mean((predicted_spectra - spectra) ** 2)))
+
+        # latent space for the regime classifier
+        z = model.encode_to_latent(clouds)
+        latents.append(z)
+        labels.extend([_REGION_IDS.get(region, 0)] * len(region_samples))
+
+        region_evaluations[region] = RegionEvaluation(
+            region=region,
+            n_samples=len(region_samples),
+            true_peak=peak_momentum(true_centres, true_hist),
+            predicted_peak=peak_momentum(pred_centres, pred_hist),
+            true_mean=mean_momentum(true_centres, true_hist),
+            predicted_mean=mean_momentum(pred_centres, pred_hist),
+            histogram_l1=histogram_distance(true_hist, pred_hist),
+            two_populations_true=detects_two_populations(true_centres, true_hist),
+            two_populations_predicted=detects_two_populations(pred_centres, pred_hist),
+        )
+
+    # latent classifier accuracy (only meaningful with more than one class)
+    latent_matrix = np.concatenate(latents, axis=0)
+    label_array = np.asarray(labels)
+    if len(set(labels)) > 1:
+        classifier = LatentRegimeClassifier(rng=rng)
+        classifier.fit(latent_matrix, label_array)
+        accuracy = classifier.accuracy(latent_matrix, label_array)
+    else:
+        accuracy = 1.0
+
+    return InversionReport(regions=region_evaluations,
+                           surrogate_spectrum_mse=float(np.mean(surrogate_errors)),
+                           latent_classifier_accuracy=accuracy,
+                           n_evaluation_samples=len(samples))

@@ -1,0 +1,212 @@
+"""Command-line interface.
+
+``python -m repro.cli <command>`` (or the ``artificial-scientist`` console
+script) exposes the main entry points of the reproduction:
+
+* ``run``              — run the coupled in-transit workflow,
+* ``fom-scan``         — regenerate the Fig. 4 FOM weak-scaling table,
+* ``streaming-study``  — regenerate the Fig. 6 streaming-throughput table,
+* ``ddp-scan``         — regenerate the Fig. 8 training weak-scaling table,
+* ``khi-info``         — print the Section IV-A KHI setup constants,
+* ``placement``        — compare intra- vs inter-node placement (Fig. 3c).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="artificial-scientist",
+        description="Reproduction of 'The Artificial Scientist: in-transit "
+                    "Machine Learning of Plasma Simulations'")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the coupled in-transit workflow")
+    run.add_argument("--steps", type=int, default=5, help="simulation steps to run")
+    run.add_argument("--n-rep", type=int, default=2,
+                     help="training iterations per streamed step")
+    run.add_argument("--grid", type=int, nargs=3, default=(8, 16, 2),
+                     metavar=("NX", "NY", "NZ"), help="KHI grid cells")
+    run.add_argument("--particles-per-cell", type=int, default=4)
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--threaded", action="store_true",
+                     help="run producer and consumer concurrently")
+    run.add_argument("--evaluate", action="store_true",
+                     help="print the Fig. 9-style inversion report after the run")
+    run.add_argument("--checkpoint", type=str, default=None,
+                     help="directory to write a model/buffer checkpoint to")
+
+    sub.add_parser("fom-scan", help="Fig. 4: FOM weak scaling (Frontier vs Summit)")
+
+    streaming = sub.add_parser("streaming-study",
+                               help="Fig. 6: full-scale streaming throughput study")
+    streaming.add_argument("--bytes-per-node", type=float, default=5.86e9)
+
+    ddp = sub.add_parser("ddp-scan", help="Fig. 8: in-transit training weak scaling")
+    ddp.add_argument("--nodes", type=int, nargs="+", default=(8, 24, 48, 96))
+
+    sub.add_parser("khi-info", help="Section IV-A KHI setup constants")
+
+    placement = sub.add_parser("placement", help="Fig. 3c: placement comparison")
+    placement.add_argument("--nodes", type=int, default=96)
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core import ArtificialScientist, MLConfig, StreamingConfig, WorkflowConfig
+    from repro.core.threaded import ThreadedWorkflowRunner
+    from repro.models.config import ModelConfig
+    from repro.pic.khi import KHIConfig
+
+    model = ModelConfig(n_input_points=64, encoder_channels=(16, 32),
+                        encoder_head_hidden=32, latent_dim=32,
+                        decoder_grid=(2, 2, 2), decoder_channels=(8, 6),
+                        spectrum_dim=16, inn_blocks=2, inn_hidden=(32,))
+    config = WorkflowConfig(
+        khi=KHIConfig(grid_shape=tuple(args.grid),
+                      particles_per_cell=args.particles_per_cell, seed=args.seed),
+        ml=MLConfig(model=model, n_rep=args.n_rep, base_learning_rate=1e-3),
+        streaming=StreamingConfig(queue_limit=2),
+        region_counts=(1, 4, 1), n_detector_directions=2, n_detector_frequencies=8,
+        seed=args.seed)
+    scientist = ArtificialScientist(config)
+
+    if args.threaded:
+        result = ThreadedWorkflowRunner(scientist).run(args.steps)
+        if result.producer_exception is not None:
+            print(f"producer failed: {result.producer_exception}", file=sys.stderr)
+            return 1
+        report = result.report
+        print(f"max stream queue depth: {result.max_queue_depth}")
+    else:
+        report = scientist.run(args.steps)
+
+    for key, value in report.summary().items():
+        print(f"{key:>24}: {value}")
+
+    if args.evaluate:
+        evaluation = scientist.evaluate()
+        print("\nregion, true peak, predicted peak, histogram L1")
+        for row in evaluation.rows():
+            print(f"{row['region']:>12}, {row['true_peak']:+.3f}, "
+                  f"{row['predicted_peak']:+.3f}, {row['histogram_l1']:.3f}")
+
+    if args.checkpoint:
+        from repro.core.checkpoint import save_checkpoint
+        info = save_checkpoint(args.checkpoint, scientist.model,
+                               scientist.mlapp.trainer, step=args.steps)
+        print(f"\ncheckpoint written to {info.directory} "
+              f"({info.training_iterations} training iterations)")
+    return 0
+
+
+def _cmd_fom_scan(_: argparse.Namespace) -> int:
+    from repro.perfmodel.fom import FOMScalingModel
+
+    frontier = FOMScalingModel.frontier_calibrated()
+    summit = FOMScalingModel.summit_calibrated()
+    print(f"{'GPUs':>8} {'Frontier [TUp/s]':>18} {'Summit [TUp/s]':>16}")
+    for n in FOMScalingModel.paper_gpu_counts():
+        summit_value = summit.fom(n) / 1e12 if n <= 27_648 else float("nan")
+        print(f"{n:>8} {frontier.fom(n) / 1e12:>18.2f} {summit_value:>16.2f}")
+    print("\npaper reference: 65.3 TeraUpdates/s on full Frontier, "
+          "14.7 TeraUpdates/s on Summit")
+    return 0
+
+
+def _cmd_streaming_study(args: argparse.Namespace) -> int:
+    from repro.perfmodel.streaming import StreamingScalingStudy
+
+    study = StreamingScalingStudy(bytes_per_node=args.bytes_per_node)
+    print(f"{'data plane':>18} {'strategy':>12} {'nodes':>6} {'TB/s':>7} "
+          f"{'GB/s/node':>10} {'step [s]':>9}")
+
+    def fmt(value, width, precision):
+        return "n/a".rjust(width) if value is None else f"{value:{width}.{precision}f}"
+
+    for row in study.rows():
+        print(f"{row['data_plane']:>18} {row['strategy']:>12} {row['nodes']:>6} "
+              f"{fmt(row['parallel_tb_per_s'], 7, 1)} "
+              f"{fmt(row['per_node_gb_per_s'], 10, 2)} "
+              f"{fmt(row['step_time_s'], 9, 2)}")
+    return 0
+
+
+def _cmd_ddp_scan(args: argparse.Namespace) -> int:
+    from repro.perfmodel.ddp import DDPWeakScalingModel
+
+    model = DDPWeakScalingModel.paper_calibrated()
+    print(f"{'nodes':>6} {'GCDs':>6} {'batch':>6} {'efficiency %':>13} "
+          f"{'allreduce %':>12} {'MMD %':>7}")
+    for point in model.scan(tuple(args.nodes)):
+        print(f"{point.n_nodes:>6} {point.n_gcds:>6} {point.global_batch_size:>6} "
+              f"{100 * point.efficiency:>13.1f} {100 * point.allreduce_fraction:>12.1f} "
+              f"{100 * point.mmd_fraction:>7.1f}")
+    attribution = model.deficit_attribution(max(args.nodes))
+    print(f"\ndeficit attribution at {max(args.nodes)} nodes: "
+          f"allreduce {100 * attribution['allreduce']:.0f} %, "
+          f"MMD {100 * attribution['mmd']:.0f} %")
+    return 0
+
+
+def _cmd_khi_info(_: argparse.Namespace) -> int:
+    from repro import constants
+    from repro.pic.khi import KHIConfig
+
+    paper = KHIConfig.paper()
+    print("Section IV-A KHI setup (paper constants):")
+    print(f"  smallest volume      : {'x'.join(str(n) for n in paper.grid_shape)} cells "
+          f"on {constants.PAPER_SMALLEST_GPUS} GPUs")
+    print(f"  cell size            : {paper.cell_size * 1e6:.1f} um (cubic)")
+    print(f"  paper time step      : {constants.PAPER_TIME_STEP * 1e15:.1f} fs")
+    print(f"  density              : {constants.PAPER_DENSITY:.1e} 1/m^3")
+    print(f"  stream velocity      : beta = {paper.beta}")
+    print(f"  particles per cell   : {paper.particles_per_cell}")
+    print(f"  macro electrons      : {paper.n_macro_electrons:,}")
+    default = KHIConfig()
+    print("\nlaptop-scale defaults of this reproduction:")
+    print(f"  grid                 : {'x'.join(str(n) for n in default.grid_shape)} cells")
+    print(f"  density              : {default.density:.1e} 1/m^3 "
+          f"(omega_p * dt = {default.omega_p_dt():.2f})")
+    return 0
+
+
+def _cmd_placement(args: argparse.Namespace) -> int:
+    from repro.core.placement import PlacementMode, ResourcePlan
+    from repro.perfmodel.streaming import PAPER_BYTES_PER_NODE
+
+    for mode in (PlacementMode.INTRA_NODE, PlacementMode.INTER_NODE):
+        plan = ResourcePlan(n_nodes=args.nodes, mode=mode)
+        description = plan.describe()
+        exchange = plan.exchange_time_per_step(PAPER_BYTES_PER_NODE)
+        print(f"{mode.value:>12}: {description}  exchange of 5.86 GB/node: "
+              f"{exchange:.3f} s")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "fom-scan": _cmd_fom_scan,
+    "streaming-study": _cmd_streaming_study,
+    "ddp-scan": _cmd_ddp_scan,
+    "khi-info": _cmd_khi_info,
+    "placement": _cmd_placement,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Continual learning from the data stream (Section IV-C).
+
+The simulation is a non-steady-state process: each streamed time step shows
+a later stage of the instability, and the data is discarded after use.
+Training naively on the latest samples only leads to catastrophic forgetting
+of earlier stages; the paper uses experience replay, implemented as a
+*training buffer* placed between the streaming receiver and the training
+loop:
+
+* a **now-buffer** holds the ``N_now = 10`` latest samples,
+* an **EP-buffer** holds up to ``N_EP = 20`` older samples; when full, a
+  random element is evicted,
+* each training batch mixes ``n_now = 4`` random now-samples with
+  ``n_EP = 4`` random replay samples (batch size 8 per rank),
+* ``n_rep`` training iterations are run per streamed simulation step
+  (decoupling the replay schedule from the training loop; the paper finds
+  learning succeeds up to about ``n_rep = 48``).
+"""
+
+from repro.continual.buffer import TrainingBuffer, TrainingSample
+from repro.continual.trainer import InTransitTrainer, TrainingHistory
+
+__all__ = [
+    "TrainingBuffer",
+    "TrainingSample",
+    "InTransitTrainer",
+    "TrainingHistory",
+]

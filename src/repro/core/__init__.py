@@ -1,0 +1,49 @@
+"""The Artificial Scientist: the loosely coupled, in-transit workflow.
+
+This subpackage is the paper's primary contribution assembled from the
+substrates:
+
+* the KHI PIC simulation (:mod:`repro.pic`) with the radiation plugin
+  (:mod:`repro.radiation`) acts as the **producer**; a streaming output
+  plugin converts each time step's local phase-space and radiation data
+  into training samples and writes them as an openPMD iteration through an
+  SST-style stream,
+* the **MLapp** (:mod:`repro.core.mlapp`) reads iterations from the stream,
+  feeds the experience-replay buffer and trains the VAE+INN in transit,
+* :class:`repro.core.artificial_scientist.ArtificialScientist` wires both
+  applications together (intra-node loose coupling), drives the run and
+  collects the workflow report,
+* :mod:`repro.core.placement` models the resource assignment choices of
+  Fig. 3(c) (intra- vs inter-node placement, GCD split).
+"""
+
+from repro.core.config import MLConfig, StreamingConfig, WorkflowConfig
+from repro.core.placement import PlacementMode, ResourcePlan
+from repro.core.transforms import (RegionPartition, encode_point_cloud, encode_spectrum,
+                                   make_training_samples)
+from repro.core.producer import StreamingProducerPlugin
+from repro.core.mlapp import MLApp
+from repro.core.artificial_scientist import ArtificialScientist, WorkflowReport
+from repro.core.checkpoint import CheckpointInfo, load_checkpoint, save_checkpoint
+from repro.core.threaded import ThreadedRunResult, ThreadedWorkflowRunner
+
+__all__ = [
+    "CheckpointInfo",
+    "save_checkpoint",
+    "load_checkpoint",
+    "ThreadedWorkflowRunner",
+    "ThreadedRunResult",
+    "WorkflowConfig",
+    "MLConfig",
+    "StreamingConfig",
+    "PlacementMode",
+    "ResourcePlan",
+    "RegionPartition",
+    "encode_point_cloud",
+    "encode_spectrum",
+    "make_training_samples",
+    "StreamingProducerPlugin",
+    "MLApp",
+    "ArtificialScientist",
+    "WorkflowReport",
+]

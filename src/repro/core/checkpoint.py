@@ -1,0 +1,137 @@
+"""Checkpointing of the in-transit training state.
+
+The streamed simulation data is gone once consumed, but the *learning state*
+— model weights, optimiser moments, the experience-replay buffers and the
+loss history — can and should be persisted: it is the only product of the
+run (the paper's trained model is what gets evaluated in Fig. 9), and a
+restartable MLapp lets a long campaign survive the failure of either side of
+the loosely coupled pair without losing the accumulated knowledge.
+
+Checkpoints are plain ``.npz`` archives plus a JSON manifest, written
+atomically (write to a temporary name, then rename).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.continual.buffer import TrainingBuffer, TrainingSample
+from repro.continual.trainer import InTransitTrainer
+from repro.mlcore.serialization import load_state_dict, save_state_dict
+from repro.models.model import ArtificialScientistModel
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Metadata of a written checkpoint."""
+
+    directory: str
+    step: int
+    training_iterations: int
+    n_buffer_samples: int
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, "manifest.json")
+
+
+def _buffer_to_arrays(buffer: TrainingBuffer) -> Dict[str, np.ndarray]:
+    """Serialise the now/EP buffers into stackable arrays."""
+    arrays: Dict[str, np.ndarray] = {}
+    for prefix, samples in (("now", buffer._now), ("ep", buffer._ep)):
+        if not samples:
+            continue
+        arrays[f"{prefix}_point_clouds"] = np.stack([s.point_cloud for s in samples])
+        arrays[f"{prefix}_spectra"] = np.stack([s.spectrum for s in samples])
+        arrays[f"{prefix}_steps"] = np.asarray([s.step for s in samples], dtype=np.int64)
+        arrays[f"{prefix}_regions"] = np.asarray(
+            [s.region for s in samples], dtype="U16")
+    return arrays
+
+
+def _arrays_to_samples(arrays: Dict[str, np.ndarray], prefix: str) -> List[TrainingSample]:
+    key = f"{prefix}_point_clouds"
+    if key not in arrays:
+        return []
+    clouds = arrays[key]
+    spectra = arrays[f"{prefix}_spectra"]
+    steps = arrays[f"{prefix}_steps"]
+    regions = arrays[f"{prefix}_regions"]
+    return [TrainingSample(point_cloud=clouds[i], spectrum=spectra[i],
+                           step=int(steps[i]), region=str(regions[i]))
+            for i in range(len(clouds))]
+
+
+def save_checkpoint(directory: str, model: ArtificialScientistModel,
+                    trainer: InTransitTrainer, step: int) -> CheckpointInfo:
+    """Write model weights, buffers and training history to ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+
+    save_state_dict(model.state_dict(), os.path.join(directory, "model"))
+
+    buffer_arrays = _buffer_to_arrays(trainer.buffer)
+    np.savez(os.path.join(directory, "buffer.npz"), **buffer_arrays)
+
+    history = trainer.history
+    history_arrays = {"steps": np.asarray(history.steps, dtype=np.int64)}
+    if history.terms:
+        for name in history.terms[0]:
+            history_arrays[f"loss_{name}"] = history.series(name)
+    np.savez(os.path.join(directory, "history.npz"), **history_arrays)
+
+    manifest = {
+        "step": int(step),
+        "training_iterations": len(history),
+        "samples_consumed": trainer.samples_consumed,
+        "buffer": {"now": trainer.buffer.now_count, "ep": trainer.buffer.ep_count,
+                   "now_size": trainer.buffer.now_size, "ep_size": trainer.buffer.ep_size},
+        "n_rep": trainer.n_rep,
+    }
+    manifest_path = os.path.join(directory, "manifest.json")
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".json")
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    os.replace(tmp_path, manifest_path)
+
+    return CheckpointInfo(directory=directory, step=int(step),
+                          training_iterations=len(history),
+                          n_buffer_samples=len(trainer.buffer))
+
+
+def load_checkpoint(directory: str, model: ArtificialScientistModel,
+                    trainer: Optional[InTransitTrainer] = None) -> Dict[str, object]:
+    """Restore model weights (and, if given, the trainer's buffers) in place.
+
+    Returns the checkpoint manifest.
+    """
+    manifest_path = os.path.join(directory, "manifest.json")
+    if not os.path.exists(manifest_path):
+        raise FileNotFoundError(f"no checkpoint manifest found in {directory!r}")
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+
+    model.load_state_dict(load_state_dict(os.path.join(directory, "model")))
+
+    if trainer is not None:
+        buffer_path = os.path.join(directory, "buffer.npz")
+        if os.path.exists(buffer_path):
+            with np.load(buffer_path) as archive:
+                arrays = {key: archive[key] for key in archive.files}
+            trainer.buffer._now = _arrays_to_samples(arrays, "now")
+            trainer.buffer._ep = _arrays_to_samples(arrays, "ep")
+        history_path = os.path.join(directory, "history.npz")
+        if os.path.exists(history_path):
+            with np.load(history_path) as archive:
+                steps = archive["steps"]
+                term_names = [k[len("loss_"):] for k in archive.files if k.startswith("loss_")]
+                trainer.history.steps = [int(s) for s in steps]
+                trainer.history.terms = [
+                    {name: float(archive[f"loss_{name}"][i]) for name in term_names}
+                    for i in range(len(steps))]
+    return manifest

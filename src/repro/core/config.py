@@ -1,0 +1,96 @@
+"""Configuration of the end-to-end workflow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.models.config import ModelConfig
+from repro.pic.khi import KHIConfig
+
+
+@dataclass
+class StreamingConfig:
+    """Streaming-layer knobs of the coupled run."""
+
+    queue_limit: int = 2                 #: SST step-queue depth (writer stalls beyond it)
+    data_plane: str = "inmemory"         #: data plane used for the real coupled run
+    sample_interval: int = 1             #: stream every N-th simulation step
+    stream_name: str = "khi-particles"
+    #: keep this fraction of the raw particle records in the stream
+    #: (Fig. 3b producer-side reduction; 1.0 disables subsampling)
+    particle_subsample_fraction: float = 1.0
+    #: cast streamed floating-point payloads to float32 before sending
+    reduce_precision: bool = False
+
+    def build_reduction_pipeline(self, rng=None):
+        """Create the producer-side reduction pipeline (or ``None`` if disabled)."""
+        import numpy as np
+
+        from repro.streaming.reduction import (ParticleSubsampleReducer,
+                                               PrecisionReducer, ReductionPipeline)
+        reducers = []
+        if self.particle_subsample_fraction < 1.0:
+            reducers.append(ParticleSubsampleReducer(self.particle_subsample_fraction,
+                                                     rng=rng))
+        if self.reduce_precision:
+            reducers.append(PrecisionReducer(np.float32))
+        return ReductionPipeline(reducers) if reducers else None
+
+
+@dataclass
+class MLConfig:
+    """MLapp knobs: model size, replay and optimisation settings."""
+
+    model: ModelConfig = field(default_factory=ModelConfig)
+    n_rep: int = 4                       #: training iterations per streamed step
+    now_buffer_size: int = 10
+    ep_buffer_size: int = 20
+    n_now: int = 4
+    n_ep: int = 4
+    base_learning_rate: float = 1.0e-3   #: laptop-scale default (paper: 1e-6 at scale)
+    m_vae: float = 1.0                   #: l_VAE / l_INN ratio
+    n_points_per_sample: Optional[int] = None  #: defaults to model.n_input_points
+    max_grad_norm: Optional[float] = None      #: global-norm gradient clipping
+    warmup_steps: int = 0                      #: linear LR warm-up iterations
+
+
+@dataclass
+class WorkflowConfig:
+    """Everything needed to build one Artificial-Scientist run.
+
+    The defaults produce a laptop-scale run (a few thousand macro-particles,
+    a small VAE+INN) that finishes in well under a minute while exercising
+    every component of the full-scale workflow.
+    """
+
+    khi: KHIConfig = field(default_factory=lambda: KHIConfig(grid_shape=(8, 16, 2),
+                                                             particles_per_cell=4))
+    ml: MLConfig = field(default_factory=MLConfig)
+    streaming: StreamingConfig = field(default_factory=StreamingConfig)
+    #: sub-volume grid (regions along x, y, z) used to cut local point clouds
+    region_counts: Tuple[int, int, int] = (1, 4, 1)
+    #: radiation detector resolution; directions * frequencies must equal
+    #: the model's spectrum_dim
+    n_detector_directions: int = 2
+    n_detector_frequencies: int = 8
+    seed: int = 2024
+
+    def __post_init__(self) -> None:
+        spectrum_dim = self.n_detector_directions * self.n_detector_frequencies
+        if spectrum_dim != self.ml.model.spectrum_dim:
+            raise ValueError(
+                f"detector resolution ({self.n_detector_directions} directions × "
+                f"{self.n_detector_frequencies} frequencies = {spectrum_dim}) must match "
+                f"the model's spectrum_dim ({self.ml.model.spectrum_dim})")
+        if any(c < 1 for c in self.region_counts):
+            raise ValueError("region_counts entries must be >= 1")
+
+    @property
+    def n_points_per_sample(self) -> int:
+        return self.ml.n_points_per_sample or self.ml.model.n_input_points
+
+    @property
+    def n_regions(self) -> int:
+        rx, ry, rz = self.region_counts
+        return rx * ry * rz

@@ -1,0 +1,88 @@
+"""Truly concurrent coupling: producer and consumer in separate threads.
+
+:class:`repro.core.ArtificialScientist.run` alternates one simulation step
+with draining the stream — convenient and deterministic, but serialised.
+The real system runs both applications concurrently; back-pressure through
+the bounded SST queue is what keeps them in lock-step when training is
+slower than the simulation.  :class:`ThreadedWorkflowRunner` reproduces that
+concurrency: the simulation loop runs in a worker thread while the MLapp
+consumes the stream in the calling thread, and the queue limit (not explicit
+synchronisation) couples their progress.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.artificial_scientist import ArtificialScientist, WorkflowReport
+
+
+@dataclass
+class ThreadedRunResult:
+    """Outcome of a concurrent run."""
+
+    report: WorkflowReport
+    producer_exception: Optional[BaseException]
+    max_queue_depth: int
+
+
+class ThreadedWorkflowRunner:
+    """Drive an :class:`ArtificialScientist` with a concurrent producer thread."""
+
+    def __init__(self, scientist: ArtificialScientist) -> None:
+        self.scientist = scientist
+        self._producer_error: Optional[BaseException] = None
+        self._max_queue_depth = 0
+
+    def _produce(self, n_steps: int) -> None:
+        try:
+            for _ in range(n_steps):
+                self.scientist.simulation.step()
+                depth = self.scientist.broker.queued_steps
+                if depth > self._max_queue_depth:
+                    self._max_queue_depth = depth
+            self.scientist.writer_series.close()
+        except BaseException as error:  # noqa: BLE001 - reported to the caller
+            self._producer_error = error
+            # make sure the consumer does not wait forever
+            self.scientist.broker.close()
+
+    def run(self, n_steps: int, keep_for_evaluation: int = 1,
+            join_timeout: float = 300.0) -> ThreadedRunResult:
+        """Run ``n_steps`` with the simulation in a background thread."""
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        scientist = self.scientist
+        start = time.perf_counter()
+
+        producer = threading.Thread(target=self._produce, args=(n_steps,),
+                                    name="pic-producer", daemon=True)
+        producer.start()
+        # the consumer (MLapp) drains the stream until end-of-stream
+        training_start = time.perf_counter()
+        scientist.mlapp.consume(keep_for_evaluation=keep_for_evaluation)
+        training_time = time.perf_counter() - training_start
+        producer.join(timeout=join_timeout)
+        if producer.is_alive():
+            raise TimeoutError("the producer thread did not finish in time")
+        wall = time.perf_counter() - start
+
+        report = WorkflowReport(
+            n_steps=n_steps,
+            iterations_streamed=scientist.producer.iterations_streamed,
+            samples_streamed=scientist.producer.samples_streamed,
+            training_iterations=len(scientist.mlapp.history),
+            bytes_streamed=scientist.producer.bytes_streamed,
+            wall_time=wall,
+            simulation_time=wall - training_time if wall > training_time else 0.0,
+            training_time=training_time,
+            final_losses=scientist.mlapp.loss_summary(),
+            loss_history_total=list(scientist.mlapp.history.series("total"))
+            if len(scientist.mlapp.history) else [],
+        )
+        return ThreadedRunResult(report=report,
+                                 producer_exception=self._producer_error,
+                                 max_queue_depth=self._max_queue_depth)

@@ -1,0 +1,44 @@
+"""A small NumPy-based deep-learning substrate (PyTorch stand-in).
+
+The paper's MLapp is built on PyTorch with Distributed Data Parallel (DDP)
+training.  Since the reproduction is pure Python/NumPy, this subpackage
+implements the pieces the MLapp actually relies on:
+
+* :mod:`repro.mlcore.tensor` — a reverse-mode autograd :class:`Tensor`,
+* :mod:`repro.mlcore.module` — ``Module``/``Parameter`` containers,
+* :mod:`repro.mlcore.layers` — Linear, point-wise convolutions, max pooling,
+  transposed 3D convolutions, activations and ``Sequential``,
+* :mod:`repro.mlcore.losses` — MSE, Chamfer distance, KL divergence, MMD with
+  an inverse multi-quadratic kernel and a Sinkhorn-based earth mover's
+  distance,
+* :mod:`repro.mlcore.optim` — SGD and Adam with the paper's hyper-parameters
+  and square-root learning-rate scaling,
+* :mod:`repro.mlcore.distributed` — simulated multi-rank data parallelism
+  with gradient all-reduce and a ring all-reduce communication cost model.
+"""
+
+from repro.mlcore.tensor import Tensor, no_grad, tensor, zeros, ones, randn
+from repro.mlcore.module import Module, Parameter
+from repro.mlcore import functional
+from repro.mlcore import layers
+from repro.mlcore import losses
+from repro.mlcore import optim
+from repro.mlcore import distributed
+from repro.mlcore import schedulers
+
+__all__ = [
+    "schedulers",
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "zeros",
+    "ones",
+    "randn",
+    "Module",
+    "Parameter",
+    "functional",
+    "layers",
+    "losses",
+    "optim",
+    "distributed",
+]

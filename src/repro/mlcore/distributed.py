@@ -1,0 +1,230 @@
+"""Simulated data-parallel training.
+
+The paper trains the model with PyTorch Distributed Data Parallel (DDP) over
+up to 384 GCDs: every rank holds a full copy of the model, receives a
+different chunk of the streamed data, and after every backward pass the
+gradients are averaged with an all-reduce over N/RCCL.  Two costs dominate
+the weak-scaling behaviour of Fig. 8:
+
+1. the gradient all-reduce (``~30 %`` efficiency loss), and
+2. the replicated computation + ``all_gather_into_tensor`` of the two MMD
+   loss terms, which synchronises the compute graph with the host.
+
+This module reproduces the *semantics* in-process:
+
+* :class:`LocalCommunicator` provides ``allreduce``/``allgather``/``broadcast``
+  over a group of simulated ranks living in the same Python process,
+* :class:`DistributedDataParallel` wraps one model replica per rank and
+  averages gradients after backward,
+* :class:`RingAllReduceModel` provides the analytic communication-time model
+  used by :mod:`repro.perfmodel.ddp` to extrapolate to Frontier scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.mlcore.module import Module
+
+__all__ = [
+    "Communicator",
+    "LocalCommunicator",
+    "DistributedDataParallel",
+    "RingAllReduceModel",
+    "CommunicationRecord",
+]
+
+
+@dataclass
+class CommunicationRecord:
+    """Bookkeeping of collective-communication volume (bytes moved per rank)."""
+
+    allreduce_calls: int = 0
+    allreduce_bytes: int = 0
+    allgather_calls: int = 0
+    allgather_bytes: int = 0
+    broadcast_calls: int = 0
+    broadcast_bytes: int = 0
+
+    def total_bytes(self) -> int:
+        return self.allreduce_bytes + self.allgather_bytes + self.broadcast_bytes
+
+
+class Communicator:
+    """Abstract collective-communication interface (subset of MPI/NCCL)."""
+
+    @property
+    def world_size(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def allreduce_mean(self, arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
+        raise NotImplementedError
+
+    def allgather(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def broadcast(self, array: np.ndarray, root: int = 0) -> List[np.ndarray]:
+        raise NotImplementedError
+
+
+class LocalCommunicator(Communicator):
+    """All ranks live in the same process; collectives are NumPy reductions.
+
+    ``arrays`` passed to the collectives are indexed by rank, i.e.
+    ``arrays[r]`` is rank ``r``'s contribution.  This mirrors how the
+    simulated ranks are driven sequentially by the trainer.
+    """
+
+    def __init__(self, world_size: int) -> None:
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self._world_size = int(world_size)
+        self.record = CommunicationRecord()
+
+    @property
+    def world_size(self) -> int:
+        return self._world_size
+
+    def allreduce_mean(self, arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Average per-rank arrays; every rank receives the same result."""
+        if len(arrays) != self._world_size:
+            raise ValueError(f"expected {self._world_size} contributions, got {len(arrays)}")
+        stackable = [np.asarray(a, dtype=np.float64) for a in arrays]
+        mean = np.mean(np.stack(stackable, axis=0), axis=0)
+        self.record.allreduce_calls += 1
+        self.record.allreduce_bytes += int(mean.nbytes)
+        return [mean.copy() for _ in range(self._world_size)]
+
+    def allgather(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Concatenate per-rank arrays along axis 0 (``all_gather_into_tensor``)."""
+        if len(arrays) != self._world_size:
+            raise ValueError(f"expected {self._world_size} contributions, got {len(arrays)}")
+        gathered = np.concatenate([np.asarray(a, dtype=np.float64) for a in arrays], axis=0)
+        self.record.allgather_calls += 1
+        self.record.allgather_bytes += int(gathered.nbytes)
+        return gathered
+
+    def broadcast(self, array: np.ndarray, root: int = 0) -> List[np.ndarray]:
+        """Return one copy of ``array`` per rank."""
+        if not 0 <= root < self._world_size:
+            raise ValueError("root rank out of range")
+        array = np.asarray(array)
+        self.record.broadcast_calls += 1
+        self.record.broadcast_bytes += int(array.nbytes)
+        return [array.copy() for _ in range(self._world_size)]
+
+
+class DistributedDataParallel:
+    """Data-parallel wrapper over per-rank model replicas.
+
+    Every simulated rank holds its own replica of the model (so that Adam
+    states, dropout RNG, etc. can in principle diverge exactly as they would
+    in separate processes).  :meth:`sync_gradients` performs the gradient
+    averaging all-reduce; :meth:`sync_parameters` broadcasts rank 0's
+    parameters, which is how DDP initialises replicas.
+    """
+
+    def __init__(self, replicas: Sequence[Module], communicator: Communicator) -> None:
+        replicas = list(replicas)
+        if len(replicas) != communicator.world_size:
+            raise ValueError("number of replicas must equal the communicator world size")
+        names = [tuple(name for name, _ in replica.named_parameters()) for replica in replicas]
+        if any(n != names[0] for n in names[1:]):
+            raise ValueError("all replicas must have identical parameter sets")
+        self.replicas = replicas
+        self.communicator = communicator
+        self._param_names = names[0]
+
+    @property
+    def world_size(self) -> int:
+        return self.communicator.world_size
+
+    def module(self, rank: int = 0) -> Module:
+        """Return the replica owned by ``rank``."""
+        return self.replicas[rank]
+
+    def sync_parameters(self, root: int = 0) -> None:
+        """Broadcast the root replica's parameters to all other replicas."""
+        root_state = self.replicas[root].state_dict()
+        for rank, replica in enumerate(self.replicas):
+            if rank == root:
+                continue
+            replica.load_state_dict(root_state)
+        # account for the broadcast volume once (it is a single collective)
+        flat = np.concatenate([v.ravel() for v in root_state.values()]) if root_state else np.zeros(0)
+        self.communicator.record.broadcast_calls += 1
+        self.communicator.record.broadcast_bytes += int(flat.nbytes)
+
+    def sync_gradients(self) -> None:
+        """Average gradients across replicas (the DDP backward-hook all-reduce)."""
+        per_rank_params = [dict(replica.named_parameters()) for replica in self.replicas]
+        for name in self._param_names:
+            grads = []
+            for params in per_rank_params:
+                p = params[name]
+                grads.append(p.grad if p.grad is not None else np.zeros_like(p.data))
+            averaged = self.communicator.allreduce_mean(grads)
+            for params, grad in zip(per_rank_params, averaged):
+                params[name].grad = grad
+
+    def gradient_bytes(self) -> int:
+        """Size of one full gradient exchange per rank, in bytes."""
+        return int(sum(p.data.nbytes for p in self.replicas[0].parameters()))
+
+    def parameters_in_sync(self, atol: float = 0.0) -> bool:
+        """Check that all replicas hold identical parameters (test helper)."""
+        reference = self.replicas[0].state_dict()
+        for replica in self.replicas[1:]:
+            state = replica.state_dict()
+            for name, value in reference.items():
+                if not np.allclose(state[name], value, atol=atol, rtol=0.0):
+                    return False
+        return True
+
+
+@dataclass
+class RingAllReduceModel:
+    """Analytic time model of a ring all-reduce.
+
+    ``t(p, n) = 2 (p - 1) / p * n / bandwidth + 2 (p - 1) * latency``
+
+    where ``n`` is the message size in bytes per rank, ``p`` the number of
+    ranks and ``bandwidth`` the per-link bandwidth in bytes/s.  This is the
+    classical bandwidth-optimal ring algorithm used by NCCL/RCCL and is the
+    model behind the DDP weak-scaling extrapolation (Fig. 8).
+    """
+
+    bandwidth: float = 25.0e9      #: bytes/s per link (Slingshot NIC: 25 GB/s)
+    latency: float = 5.0e-6        #: per-hop latency [s]
+    intra_node_bandwidth: float = 150.0e9  #: Infinity-Fabric class link within a node
+    gcds_per_node: int = 8
+
+    def time(self, world_size: int, message_bytes: float) -> float:
+        """Time of one all-reduce of ``message_bytes`` across ``world_size`` ranks."""
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        if world_size == 1:
+            return 0.0
+        p = world_size
+        # Effective bandwidth: communication within a node uses the fast
+        # intra-node links; the ring crosses node boundaries only
+        # ceil(p / gcds_per_node) times, so the slowest (inter-node) hop
+        # dominates once more than one node participates.
+        if p <= self.gcds_per_node:
+            bw = self.intra_node_bandwidth
+        else:
+            bw = self.bandwidth
+        transfer = 2.0 * (p - 1) / p * message_bytes / bw
+        latency = 2.0 * (p - 1) * self.latency
+        return transfer + latency
+
+    def allgather_time(self, world_size: int, message_bytes: float) -> float:
+        """Time of an all-gather (each rank contributes ``message_bytes``)."""
+        if world_size <= 1:
+            return 0.0
+        p = world_size
+        bw = self.intra_node_bandwidth if p <= self.gcds_per_node else self.bandwidth
+        return (p - 1) / p * message_bytes * p / bw + (p - 1) * self.latency

@@ -1,0 +1,123 @@
+"""Functional interface mirroring the small subset of ``torch.nn.functional``
+used by the paper's architecture."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.mlcore.tensor import Tensor, concatenate, split, stack, where  # noqa: F401
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU with configurable negative slope."""
+    return x.leaky_relu(negative_slope)
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def softplus(x: Tensor) -> Tensor:
+    return x.softplus()
+
+
+def exp(x: Tensor) -> Tensor:
+    return x.exp()
+
+
+def log(x: Tensor) -> Tensor:
+    return x.log()
+
+
+def sqrt(x: Tensor) -> Tensor:
+    return x.sqrt()
+
+
+def clamp(x: Tensor, low: float, high: float) -> Tensor:
+    return x.clip(low, high)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def pairwise_squared_distances(a: Tensor, b: Tensor) -> Tensor:
+    """Pairwise squared Euclidean distances between two point sets.
+
+    Parameters
+    ----------
+    a:
+        Tensor of shape ``(..., N, D)``.
+    b:
+        Tensor of shape ``(..., M, D)``.
+
+    Returns
+    -------
+    Tensor of shape ``(..., N, M)`` with ``|a_i - b_j|^2``.
+
+    Notes
+    -----
+    Uses the expansion ``|a|^2 - 2 a.b + |b|^2`` so that the dominant cost is
+    a single batched matrix product (cache friendly, as recommended by the
+    optimisation guide), and clips tiny negative values arising from
+    round-off.
+    """
+    a_sq = (a * a).sum(axis=-1, keepdims=True)            # (..., N, 1)
+    b_sq = (b * b).sum(axis=-1, keepdims=True)            # (..., M, 1)
+    cross = a @ b.swapaxes(-1, -2)                        # (..., N, M)
+    d2 = a_sq - cross * 2.0 + b_sq.swapaxes(-1, -2)
+    return d2.clip(0.0, np.inf)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer labels (plain ndarray; labels carry no grad)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.zeros(labels.shape + (num_classes,), dtype=np.float64)
+    np.put_along_axis(out, labels[..., None], 1.0, axis=-1)
+    return out
+
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout probability must lie in [0, 1)")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight + bias`` with ``weight`` of shape (in, out)."""
+    out = x @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def mse(a: Tensor, b: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean squared error (convenience wrapper around the losses module)."""
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    diff = a - b
+    return (diff * diff).mean()

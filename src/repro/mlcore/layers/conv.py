@@ -1,0 +1,108 @@
+"""Convolution-style layers for point clouds and voxel grids.
+
+The paper's encoder applies 1×1 convolutions to each particle independently
+(channels 6 → 16 → 32 → 64 → 128 → 256 → 608); a 1×1 convolution over a
+point set is mathematically a Linear layer applied to the channel axis, which
+is how :class:`PointwiseConv` implements it (a single batched matmul).
+
+The decoder upsamples a ``(4, 4, 4, 16)`` latent voxel grid with 3D
+transposed convolutions with kernel size 2³ and stride 2³.  For that special
+(but exactly the paper's) case each input voxel contributes an independent
+2×2×2 output block, so the operation is a Linear map from ``C_in`` to
+``8 · C_out`` followed by a reshape/interleave — again a single matmul.
+:class:`ConvTranspose3d` implements the general kernel==stride case.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.mlcore import init
+from repro.mlcore.module import Module, Parameter
+from repro.mlcore.tensor import Tensor
+from repro.utils.rng import RandomState, seeded_rng
+
+
+class PointwiseConv(Module):
+    """1×1 convolution over a point cloud: ``(B, N, C_in) -> (B, N, C_out)``."""
+
+    def __init__(self, in_channels: int, out_channels: int, bias: bool = True,
+                 rng: RandomState = None) -> None:
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        rng = seeded_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.weight = Parameter(init.kaiming_uniform((in_channels, out_channels), rng),
+                                name="weight")
+        if bias:
+            bound = 1.0 / np.sqrt(in_channels)
+            self.bias = Parameter(rng.uniform(-bound, bound, size=(out_channels,)),
+                                  name="bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_channels:
+            raise ValueError(f"expected last dimension {self.in_channels}, "
+                             f"got {x.shape[-1]}")
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ConvTranspose3d(Module):
+    """Transposed 3D convolution with ``kernel_size == stride`` (no overlap).
+
+    Input/output layout is channels-last: ``(B, D, H, W, C_in)`` maps to
+    ``(B, D*k, H*k, W*k, C_out)``.  This exactly covers the decoder of the
+    paper (kernel 2³, stride 2³) while keeping the implementation a single
+    batched matrix product plus reshapes.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 2,
+                 bias: bool = True, rng: RandomState = None) -> None:
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        rng = seeded_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = int(kernel_size)
+        k3 = self.kernel_size ** 3
+        self.weight = Parameter(
+            init.kaiming_uniform((in_channels, out_channels * k3), rng), name="weight")
+        if bias:
+            bound = 1.0 / np.sqrt(in_channels)
+            self.bias = Parameter(rng.uniform(-bound, bound, size=(out_channels,)),
+                                  name="bias")
+        else:
+            self.bias = None
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        k = self.kernel_size
+        return (input_shape[0] * k, input_shape[1] * k, input_shape[2] * k)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 5:
+            raise ValueError("ConvTranspose3d expects (B, D, H, W, C_in) input")
+        if x.shape[-1] != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} input channels, "
+                             f"got {x.shape[-1]}")
+        b, d, h, w, _ = x.shape
+        k, c_out = self.kernel_size, self.out_channels
+        # (B, D, H, W, C_out * k^3)
+        out = x @ self.weight
+        # -> (B, D, H, W, k, k, k, C_out)
+        out = out.reshape(b, d, h, w, k, k, k, c_out)
+        # interleave kernel offsets with the spatial axes:
+        # (B, D, k, H, k, W, k, C_out)
+        out = out.transpose(0, 1, 4, 2, 5, 3, 6, 7)
+        out = out.reshape(b, d * k, h * k, w * k, c_out)
+        if self.bias is not None:
+            out = out + self.bias
+        return out

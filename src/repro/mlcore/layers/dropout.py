@@ -1,0 +1,24 @@
+"""Dropout regularisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mlcore import functional as F
+from repro.mlcore.module import Module
+from repro.mlcore.tensor import Tensor
+from repro.utils.rng import RandomState, seeded_rng
+
+
+class Dropout(Module):
+    """Inverted dropout; active only while the module is in training mode."""
+
+    def __init__(self, p: float = 0.5, rng: RandomState = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must lie in [0, 1)")
+        self.p = float(p)
+        self.rng: np.random.Generator = seeded_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, rng=self.rng)

@@ -1,0 +1,88 @@
+"""Affine layers and multi-layer perceptrons."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.mlcore import init
+from repro.mlcore.module import Module, Parameter
+from repro.mlcore.tensor import Tensor
+from repro.utils.rng import RandomState, seeded_rng
+
+
+class Linear(Module):
+    """Affine transformation ``y = x @ W + b``.
+
+    Weights are stored as ``(in_features, out_features)`` so that batched
+    inputs of shape ``(..., in_features)`` can be multiplied directly without
+    a transpose on the hot path.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: RandomState = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = seeded_rng(rng)
+        self.weight = Parameter(init.kaiming_uniform((in_features, out_features), rng),
+                                name="weight")
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            self.bias: Optional[Parameter] = Parameter(
+                rng.uniform(-bound, bound, size=(out_features,)), name="bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"Linear(in_features={self.in_features}, "
+                f"out_features={self.out_features}, bias={self.bias is not None})")
+
+
+class MLP(Module):
+    """A stack of Linear layers with a configurable hidden activation.
+
+    The paper uses MLPs both as the encoder's µ/σ heads (608 → 544) and as
+    the sub-networks of the Glow coupling blocks (→ 272 → 256 → 544).
+
+    Parameters
+    ----------
+    dims:
+        Sequence of layer widths ``(in, hidden..., out)``.
+    activation:
+        Factory producing the activation module placed between layers.
+    final_activation:
+        Whether to also apply the activation after the last layer.
+    """
+
+    def __init__(self, dims: Sequence[int],
+                 activation: Callable[[], Module] | None = None,
+                 final_activation: bool = False,
+                 rng: RandomState = None) -> None:
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least an input and an output width")
+        from repro.mlcore.layers.activation import ReLU
+        activation = activation or ReLU
+        rng = seeded_rng(rng)
+        self.dims = tuple(int(d) for d in dims)
+        layers = []
+        for i, (a, b) in enumerate(zip(self.dims[:-1], self.dims[1:])):
+            layers.append(Linear(a, b, rng=rng))
+            is_last = i == len(self.dims) - 2
+            if not is_last or final_activation:
+                layers.append(activation())
+        from repro.mlcore.layers.container import Sequential
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)

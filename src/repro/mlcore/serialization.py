@@ -1,0 +1,45 @@
+"""Saving and loading model state.
+
+The in-transit workflow keeps the model in memory at all times, but
+checkpointing the trained model at the end of a run is how the inversion
+results (Fig. 9) are evaluated offline.  State dicts are plain
+``name -> ndarray`` mappings stored as ``.npz`` archives.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.mlcore.module import Module
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> str:
+    """Save a state dict to ``path`` (``.npz`` appended if missing)."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **{key: np.asarray(value) for key, value in state.items()})
+    return path
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Load a state dict previously written by :func:`save_state_dict`."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        return {key: archive[key].copy() for key in archive.files}
+
+
+def save_module(module: Module, path: str) -> str:
+    """Save a module's parameters."""
+    return save_state_dict(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str, strict: bool = True) -> Module:
+    """Load parameters into ``module`` in place and return it."""
+    module.load_state_dict(load_state_dict(path), strict=strict)
+    return module

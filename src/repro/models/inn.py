@@ -1,0 +1,152 @@
+"""Invertible neural network (violet block of Fig. 7).
+
+Built from Glow-style affine coupling blocks (Kingma & Dhariwal 2018) with
+MLP sub-networks, following the inverse-problem framework of Ardizzone et
+al. (2018): the forward pass maps the (data-defined) latent vector z to
+``[y, N]`` where ``y`` is trained to match the observed radiation spectrum
+and ``N`` to follow a standard normal; the backward pass maps an observed
+spectrum plus a normal sample back to a latent vector, from which the VAE
+decoder generates particle dynamics — one sample from the posterior of the
+ill-posed inverse problem per draw of ``N``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.mlcore.layers import MLP, ModuleList
+from repro.mlcore.module import Module
+from repro.mlcore.tensor import Tensor, concatenate
+from repro.models.config import ModelConfig
+from repro.utils.rng import RandomState, seeded_rng
+
+
+class GlowCouplingBlock(Module):
+    """One affine coupling block operating on vectors of size ``dim``.
+
+    The input is split into two halves; each half is scaled and shifted by
+    an MLP of the other half.  The scale is soft-clamped with
+    ``exp(clamp * tanh(s))`` for numerical stability (as in the FrEIA
+    implementation used with PyTorch).
+    """
+
+    def __init__(self, dim: int, hidden: Tuple[int, ...] = (64,), clamp: float = 2.0,
+                 rng: RandomState = None) -> None:
+        super().__init__()
+        if dim < 2 or dim % 2 != 0:
+            raise ValueError("dim must be an even number >= 2")
+        rng = seeded_rng(rng)
+        self.dim = int(dim)
+        self.half = self.dim // 2
+        self.clamp = float(clamp)
+        self.subnet1 = MLP((self.half, *hidden, 2 * self.half), rng=rng)
+        self.subnet2 = MLP((self.half, *hidden, 2 * self.half), rng=rng)
+
+    # -- helpers ------------------------------------------------------------ #
+    def _scale_shift(self, subnet: MLP, x: Tensor) -> Tuple[Tensor, Tensor]:
+        params = subnet(x)
+        s = params[:, : self.half]
+        t = params[:, self.half:]
+        scale = (s.tanh() * self.clamp)
+        return scale, t
+
+    # -- forward / inverse ---------------------------------------------------- #
+    def forward(self, x: Tensor) -> Tensor:
+        x1 = x[:, : self.half]
+        x2 = x[:, self.half:]
+        scale1, shift1 = self._scale_shift(self.subnet1, x2)
+        y1 = x1 * scale1.exp() + shift1
+        scale2, shift2 = self._scale_shift(self.subnet2, y1)
+        y2 = x2 * scale2.exp() + shift2
+        return concatenate([y1, y2], axis=1)
+
+    def inverse(self, y: Tensor) -> Tensor:
+        y1 = y[:, : self.half]
+        y2 = y[:, self.half:]
+        scale2, shift2 = self._scale_shift(self.subnet2, y1)
+        x2 = (y2 - shift2) * (-scale2).exp()
+        scale1, shift1 = self._scale_shift(self.subnet1, x2)
+        x1 = (y1 - shift1) * (-scale1).exp()
+        return concatenate([x1, x2], axis=1)
+
+    def log_det_jacobian(self, x: Tensor) -> Tensor:
+        """Log-determinant of the forward Jacobian (per sample)."""
+        x2 = x[:, self.half:]
+        scale1, _ = self._scale_shift(self.subnet1, x2)
+        y1 = x[:, : self.half] * scale1.exp() + self._scale_shift(self.subnet1, x2)[1]
+        scale2, _ = self._scale_shift(self.subnet2, y1)
+        return scale1.sum(axis=1) + scale2.sum(axis=1)
+
+
+class _Permutation(Module):
+    """Fixed random permutation of the feature axis (invertible, no parameters)."""
+
+    def __init__(self, dim: int, rng: RandomState = None) -> None:
+        super().__init__()
+        rng = seeded_rng(rng)
+        self.permutation = rng.permutation(dim)
+        self.inverse_permutation = np.argsort(self.permutation)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x[:, self.permutation]
+
+    def inverse(self, x: Tensor) -> Tensor:
+        return x[:, self.inverse_permutation]
+
+
+class InvertibleNetwork(Module):
+    """A stack of permutation + coupling blocks with exact inverse.
+
+    The information volume is constant throughout the network (a defining
+    property of flow models): input and output both have ``latent_dim``
+    entries.  :meth:`split_output` separates the forward output into the
+    predicted spectrum encoding and the normal latent part according to the
+    model configuration.
+    """
+
+    def __init__(self, config: ModelConfig, rng: RandomState = None) -> None:
+        super().__init__()
+        rng = seeded_rng(rng)
+        self.config = config
+        blocks: List[Module] = []
+        permutations: List[Module] = []
+        for _ in range(config.inn_blocks):
+            permutations.append(_Permutation(config.latent_dim, rng=rng))
+            blocks.append(GlowCouplingBlock(config.latent_dim, hidden=config.inn_hidden,
+                                            rng=rng))
+        self.blocks = ModuleList(blocks)
+        self.permutations = ModuleList(permutations)
+
+    # -- passes --------------------------------------------------------------- #
+    def forward(self, z: Tensor) -> Tensor:
+        if z.ndim != 2 or z.shape[-1] != self.config.latent_dim:
+            raise ValueError(f"expected input of shape (B, {self.config.latent_dim})")
+        out = z
+        for permutation, block in zip(self.permutations, self.blocks):
+            out = block(permutation(out))
+        return out
+
+    def inverse(self, y: Tensor) -> Tensor:
+        if y.ndim != 2 or y.shape[-1] != self.config.latent_dim:
+            raise ValueError(f"expected input of shape (B, {self.config.latent_dim})")
+        out = y
+        for permutation, block in zip(reversed(list(self.permutations)),
+                                      reversed(list(self.blocks))):
+            out = permutation.inverse(block.inverse(out))
+        return out
+
+    # -- semantic split ---------------------------------------------------------- #
+    def split_output(self, forward_output: Tensor) -> Tuple[Tensor, Tensor]:
+        """Split a forward output into ``(spectrum_prediction, normal_latent)``."""
+        s = self.config.spectrum_dim
+        return forward_output[:, :s], forward_output[:, s:]
+
+    def assemble_condition(self, spectrum: Tensor, normal_sample: Tensor) -> Tensor:
+        """Concatenate an observed spectrum and a normal draw for the backward pass."""
+        if spectrum.shape[-1] != self.config.spectrum_dim:
+            raise ValueError(f"spectrum must have {self.config.spectrum_dim} entries")
+        if normal_sample.shape[-1] != self.config.normal_dim:
+            raise ValueError(f"normal sample must have {self.config.normal_dim} entries")
+        return concatenate([spectrum, normal_sample], axis=1)

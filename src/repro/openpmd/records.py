@@ -1,0 +1,166 @@
+"""Record containers of the openPMD object model.
+
+The hierarchy mirrors the openPMD standard and its reference implementation
+(openPMD-api):
+
+* a :class:`RecordComponent` holds one ndarray plus ``unitSI``,
+* a :class:`Record` groups components (``position`` → ``x``, ``y``, ``z``),
+* a :class:`Mesh` is a record with grid metadata (spacing, axis labels),
+* a :class:`ParticleSpecies` groups records (``position``, ``momentum``,
+  ``weighting``, ...),
+* everything is :class:`Attributable` — carries free-form attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Attributable:
+    """Mixin holding openPMD attributes (arbitrary JSON-serialisable values)."""
+
+    def __init__(self) -> None:
+        self._attributes: Dict[str, object] = {}
+
+    def set_attribute(self, name: str, value) -> None:
+        self._attributes[name] = value
+
+    def get_attribute(self, name: str):
+        return self._attributes[name]
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self._attributes
+
+    @property
+    def attributes(self) -> Dict[str, object]:
+        return dict(self._attributes)
+
+
+class RecordComponent(Attributable):
+    """One array-valued component of a record."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+        self._data: Optional[np.ndarray] = None
+        self.unit_si: float = 1.0
+
+    def store(self, data: np.ndarray, unit_si: float = 1.0) -> "RecordComponent":
+        """Attach data (zero-copy for float64 arrays) and its SI conversion factor."""
+        self._data = np.asarray(data)
+        self.unit_si = float(unit_si)
+        self.set_attribute("unitSI", self.unit_si)
+        return self
+
+    def load(self) -> np.ndarray:
+        """Return the stored array (raises if nothing was stored/received)."""
+        if self._data is None:
+            raise RuntimeError(f"record component {self.name!r} holds no data")
+        return self._data
+
+    def load_si(self) -> np.ndarray:
+        """Return the data converted to SI units."""
+        return self.load() * self.unit_si
+
+    @property
+    def empty(self) -> bool:
+        return self._data is None
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return () if self._data is None else tuple(self._data.shape)
+
+    @property
+    def dtype(self):
+        return None if self._data is None else self._data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return 0 if self._data is None else int(self._data.nbytes)
+
+
+class Record(Attributable):
+    """A named group of components, e.g. ``position`` with x/y/z."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+        self._components: Dict[str, RecordComponent] = {}
+
+    def __getitem__(self, component: str) -> RecordComponent:
+        if component not in self._components:
+            self._components[component] = RecordComponent(component)
+        return self._components[component]
+
+    def __contains__(self, component: str) -> bool:
+        return component in self._components
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._components)
+
+    def components(self) -> Dict[str, RecordComponent]:
+        return dict(self._components)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(c.nbytes for c in self._components.values())
+
+    #: openPMD scalar records store their data under this component name.
+    SCALAR = "scalar"
+
+    def store_scalar(self, data: np.ndarray, unit_si: float = 1.0) -> RecordComponent:
+        """Store a scalar record (single unnamed component)."""
+        return self[self.SCALAR].store(data, unit_si)
+
+    def load_scalar(self) -> np.ndarray:
+        return self[self.SCALAR].load()
+
+
+class Mesh(Record):
+    """A field record defined on the simulation grid."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.grid_spacing: Tuple[float, ...] = ()
+        self.grid_global_offset: Tuple[float, ...] = ()
+        self.axis_labels: Tuple[str, ...] = ()
+
+    def set_grid(self, spacing: Sequence[float], axis_labels: Sequence[str] = ("x", "y", "z"),
+                 global_offset: Optional[Sequence[float]] = None) -> "Mesh":
+        self.grid_spacing = tuple(float(s) for s in spacing)
+        self.axis_labels = tuple(axis_labels)
+        self.grid_global_offset = tuple(global_offset) if global_offset is not None \
+            else (0.0,) * len(self.grid_spacing)
+        self.set_attribute("gridSpacing", list(self.grid_spacing))
+        self.set_attribute("axisLabels", list(self.axis_labels))
+        self.set_attribute("gridGlobalOffset", list(self.grid_global_offset))
+        return self
+
+
+class ParticleSpecies(Attributable):
+    """A particle species: a group of records (position, momentum, weighting...)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+        self._records: Dict[str, Record] = {}
+
+    def __getitem__(self, record: str) -> Record:
+        if record not in self._records:
+            self._records[record] = Record(record)
+        return self._records[record]
+
+    def __contains__(self, record: str) -> bool:
+        return record in self._records
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def records(self) -> Dict[str, Record]:
+        return dict(self._records)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(r.nbytes for r in self._records.values())

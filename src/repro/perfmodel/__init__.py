@@ -1,0 +1,34 @@
+"""Analytic performance models of the Frontier-scale experiments.
+
+The paper's scaling figures were measured on up to 9216 Frontier nodes.
+This reproduction cannot run at that scale, so — per the substitution rules
+documented in ``DESIGN.md`` — each figure is regenerated from a calibrated
+machine model whose inputs (per-GCD compute rates, NIC bandwidth,
+all-reduce algorithm, data-plane throughput) come from the paper and public
+Frontier specifications, while the *structure* of each model (what is
+communicated when, what is replicated, what overlaps) mirrors the real code
+paths in this repository.
+
+* :mod:`repro.perfmodel.machines` — Frontier and Summit machine specs,
+* :mod:`repro.perfmodel.fom` — PIConGPU FOM weak scaling (Fig. 4),
+* :mod:`repro.perfmodel.streaming` — full-scale streaming throughput
+  (Fig. 6),
+* :mod:`repro.perfmodel.ddp` — in-transit training weak scaling (Fig. 8).
+"""
+
+from repro.perfmodel.machines import FRONTIER, SUMMIT, MachineSpec
+from repro.perfmodel.fom import FOMScalingModel, FOMScalingPoint
+from repro.perfmodel.streaming import StreamingScalingStudy, StreamingScalingPoint
+from repro.perfmodel.ddp import DDPWeakScalingModel, DDPScalingPoint
+
+__all__ = [
+    "MachineSpec",
+    "FRONTIER",
+    "SUMMIT",
+    "FOMScalingModel",
+    "FOMScalingPoint",
+    "StreamingScalingStudy",
+    "StreamingScalingPoint",
+    "DDPWeakScalingModel",
+    "DDPScalingPoint",
+]

@@ -1,0 +1,135 @@
+"""Full-scale streaming throughput study (Fig. 6).
+
+The paper streams the PIConGPU KHI particle output (5.86 GB per compute
+node and time step) into the no-op consumer on 4096 to 9126 Frontier nodes
+and reports the parallel throughput for the libfabric and MPI data planes.
+This module regenerates that study from the calibrated data-plane models of
+:mod:`repro.streaming.dataplane`, including
+
+* the weak-scaling series over node counts,
+* the libfabric "all-at-once" read-enqueue strategy that is fastest at 4096
+  nodes but does not scale to the full system (the ``4096*`` entry), and
+* the comparison against the Orion filesystem (10 TB/s) and the node-local
+  SSDs (35 TB/s aggregate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.perfmodel.machines import FRONTIER, MachineSpec
+from repro.streaming.dataplane import ModeledDataPlane, make_data_plane
+from repro.streaming.throughput import ThroughputResult, measure_stream_throughput
+from repro.utils.rng import RandomState, seeded_rng
+
+#: Particle data produced per compute node and time step (Section IV-B).
+PAPER_BYTES_PER_NODE = 5.86e9
+#: Node counts of the Fig. 6 study (half to full scale).
+PAPER_NODE_COUNTS = (4096, 6144, 8192, 9126)
+#: Steps sent per scaling run.
+PAPER_STEPS_PER_RUN = 5
+
+
+@dataclass(frozen=True)
+class StreamingScalingPoint:
+    """One (data plane, strategy, node count) measurement."""
+
+    data_plane: str
+    enqueue_strategy: str
+    n_nodes: int
+    result: Optional[ThroughputResult]   #: ``None`` when the combination does not scale
+
+    @property
+    def supported(self) -> bool:
+        return self.result is not None
+
+    @property
+    def terabytes_per_second(self) -> Optional[float]:
+        return None if self.result is None else self.result.terabytes_per_second()
+
+
+@dataclass
+class StreamingScalingStudy:
+    """Regenerate the Fig. 6 weak-scaling throughput study."""
+
+    machine: MachineSpec = FRONTIER
+    bytes_per_node: float = PAPER_BYTES_PER_NODE
+    n_steps: int = PAPER_STEPS_PER_RUN
+    node_counts: Sequence[int] = PAPER_NODE_COUNTS
+    rng: RandomState = None
+
+    def run_case(self, plane_name: str, n_nodes: int,
+                 enqueue_strategy: str = "batched") -> StreamingScalingPoint:
+        """Model one scaling run: ``n_steps`` steps of ``bytes_per_node`` each."""
+        rng = seeded_rng(self.rng if self.rng is not None else 1234)
+        plane = make_data_plane(plane_name, rng=rng)
+        if not plane.supports(n_nodes, enqueue_strategy):
+            return StreamingScalingPoint(plane_name, enqueue_strategy, n_nodes, None)
+        step_times = [plane.transfer_time(int(self.bytes_per_node), n_nodes=n_nodes,
+                                          enqueue_strategy=enqueue_strategy)
+                      for _ in range(self.n_steps)]
+        result = measure_stream_throughput(step_times, n_nodes=n_nodes,
+                                           bytes_per_node=self.bytes_per_node,
+                                           data_plane=plane_name,
+                                           enqueue_strategy=enqueue_strategy)
+        return StreamingScalingPoint(plane_name, enqueue_strategy, n_nodes, result)
+
+    def run(self, planes: Sequence[str] = ("libfabric", "mpi"),
+            include_all_at_once: bool = True) -> List[StreamingScalingPoint]:
+        """Full study: every plane and node count (plus the 4096* strategy)."""
+        points: List[StreamingScalingPoint] = []
+        for plane in planes:
+            for n_nodes in self.node_counts:
+                points.append(self.run_case(plane, n_nodes, "batched"))
+            if include_all_at_once and plane == "libfabric":
+                for n_nodes in self.node_counts:
+                    points.append(self.run_case(plane, n_nodes, "all_at_once"))
+        return points
+
+    # -- comparisons quoted in the text -------------------------------------- #
+    def filesystem_throughput(self) -> float:
+        """The Orion parallel-filesystem bandwidth the streaming approach beats."""
+        return self.machine.filesystem_bandwidth
+
+    def node_local_ssd_throughput(self) -> float:
+        return self.machine.node_local_ssd_bandwidth
+
+    def rows(self, points: Optional[Sequence[StreamingScalingPoint]] = None
+             ) -> List[Dict[str, object]]:
+        """Fig. 6 as a table: one row per (plane, strategy, nodes)."""
+        points = list(points) if points is not None else self.run()
+        rows: List[Dict[str, object]] = []
+        for point in points:
+            row: Dict[str, object] = {
+                "data_plane": point.data_plane,
+                "strategy": point.enqueue_strategy,
+                "nodes": point.n_nodes,
+            }
+            if point.result is None:
+                row.update({"parallel_tb_per_s": None, "per_node_gb_per_s": None,
+                            "step_time_s": None, "scales": False})
+            else:
+                row.update({
+                    "parallel_tb_per_s": round(point.result.terabytes_per_second(), 2),
+                    "per_node_gb_per_s": round(
+                        float(np.median(point.result.per_node_throughput)) / 1e9, 2),
+                    "step_time_s": round(float(np.median(point.result.step_times)), 2),
+                    "scales": True,
+                })
+            rows.append(row)
+        rows.append({"data_plane": "orion-filesystem", "strategy": "-",
+                     "nodes": self.machine.n_nodes,
+                     "parallel_tb_per_s": self.filesystem_throughput() / 1e12,
+                     "per_node_gb_per_s": round(
+                         self.machine.filesystem_bandwidth_per_node() / 1e9, 3),
+                     "step_time_s": None, "scales": True})
+        rows.append({"data_plane": "node-local-ssd", "strategy": "-",
+                     "nodes": self.machine.n_nodes,
+                     "parallel_tb_per_s": self.node_local_ssd_throughput() / 1e12,
+                     "per_node_gb_per_s": round(
+                         self.machine.node_local_ssd_bandwidth / self.machine.n_nodes / 1e9, 2),
+                     "step_time_s": None, "scales": True})
+        return rows

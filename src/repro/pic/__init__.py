@@ -1,0 +1,54 @@
+"""A relativistic 3D3V particle-in-cell (PIC) simulator in NumPy.
+
+This subpackage plays the role of PIConGPU in the reproduced workflow: it
+provides the numerical scheme PIConGPU implements (Yee-grid FDTD field
+solver, relativistic Boris particle pusher, cloud-in-cell interpolation and
+charge-conserving Esirkepov current deposition), the Kelvin-Helmholtz
+instability setup of Section IV-A, supercell particle sorting, a slab domain
+decomposition used by the scaling studies, and the figure-of-merit
+accounting of Fig. 4.
+
+Scales are laptop sized (10^4–10^6 macro-particles instead of 2.7·10^13) but
+the algorithms are the same, so the data fed to the ML pipeline exercises
+the same code paths as the full-scale runs in the paper.
+"""
+
+from repro.pic.grid import GridConfig, YeeGrid
+from repro.pic.particles import ParticleSpecies
+from repro.pic.pusher import boris_push, advance_positions
+from repro.pic.deposition import (deposit_charge_cic, deposit_current_cic,
+                                  deposit_current_esirkepov)
+from repro.pic.interpolation import gather_fields
+from repro.pic.maxwell import YeeSolver
+from repro.pic.simulation import PICSimulation, SimulationConfig, Plugin
+from repro.pic.khi import KHIConfig, make_khi_simulation
+from repro.pic.fom import FigureOfMerit, figure_of_merit
+from repro.pic.supercells import SupercellIndex
+from repro.pic.domain import SlabDecomposition
+from repro.pic.benchcase import (ScalingBenchmarkConfig, make_benchmark_simulation,
+                                 measured_weak_scaling)
+
+__all__ = [
+    "ScalingBenchmarkConfig",
+    "make_benchmark_simulation",
+    "measured_weak_scaling",
+    "GridConfig",
+    "YeeGrid",
+    "ParticleSpecies",
+    "boris_push",
+    "advance_positions",
+    "deposit_charge_cic",
+    "deposit_current_cic",
+    "deposit_current_esirkepov",
+    "gather_fields",
+    "YeeSolver",
+    "PICSimulation",
+    "SimulationConfig",
+    "Plugin",
+    "KHIConfig",
+    "make_khi_simulation",
+    "FigureOfMerit",
+    "figure_of_merit",
+    "SupercellIndex",
+    "SlabDecomposition",
+]

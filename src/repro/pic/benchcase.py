@@ -1,0 +1,101 @@
+"""The generic weak-scaling benchmark case (the paper's Fig. 4 workload).
+
+To prove scalability "for general plasma physics cases", the paper uses a
+more challenging test case than the KHI — the TWEAC-FOM benchmark — with a
+higher particle-per-cell ratio, as the weak-scaling workload.  This module
+provides the equivalent workload for this repository's simulator: a uniform,
+warm, drifting plasma with a configurable (high) particle-per-cell count,
+plus the weak-scaling helper that assigns one such volume per simulated GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.pic.fom import FigureOfMerit
+from repro.pic.grid import GridConfig
+from repro.pic.particles import ParticleSpecies
+from repro.pic.simulation import PICSimulation, SimulationConfig
+from repro.utils.rng import RandomState, seeded_rng
+
+
+@dataclass
+class ScalingBenchmarkConfig:
+    """A uniform-plasma benchmark volume (per simulated GPU).
+
+    The defaults use a higher particle-per-cell ratio than the KHI setup
+    (the paper's FOM benchmark does the same) so the run is dominated by
+    particle updates, which is what the FOM weights at 90 %.
+    """
+
+    cells_per_gpu: Tuple[int, int, int] = (16, 16, 4)
+    particles_per_cell: int = 24
+    cell_size: float = constants.PAPER_CELL_SIZE
+    density: float = 1.0e20
+    drift_beta: float = 0.05
+    thermal_beta: float = 0.01
+    seed: Optional[int] = 7
+
+    @property
+    def macro_particles_per_gpu(self) -> int:
+        return int(np.prod(self.cells_per_gpu)) * self.particles_per_cell
+
+    def grid_config(self, n_gpus: int = 1, axis: int = 0) -> GridConfig:
+        """Weak-scaled grid: the volume grows with ``n_gpus`` along ``axis``."""
+        if n_gpus < 1:
+            raise ValueError("n_gpus must be >= 1")
+        shape = list(self.cells_per_gpu)
+        shape[axis] *= n_gpus
+        return GridConfig(shape=tuple(shape), cell_size=(self.cell_size,) * 3)
+
+
+def make_benchmark_simulation(config: ScalingBenchmarkConfig | None = None,
+                              n_gpus: int = 1,
+                              rng: RandomState = None) -> PICSimulation:
+    """Create the uniform-plasma benchmark simulation for ``n_gpus`` volumes."""
+    config = config or ScalingBenchmarkConfig()
+    rng = seeded_rng(config.seed if rng is None else rng)
+    grid_config = config.grid_config(n_gpus)
+    extent = np.asarray(grid_config.extent)
+
+    n_macro = config.macro_particles_per_gpu * n_gpus
+    positions = rng.uniform(0.0, 1.0, size=(n_macro, 3)) * extent
+    beta = rng.normal(0.0, config.thermal_beta, size=(n_macro, 3))
+    beta[:, 0] += config.drift_beta
+    speed = np.linalg.norm(beta, axis=1)
+    np.clip(speed, None, 0.99, out=speed)
+    gamma = 1.0 / np.sqrt(1.0 - speed ** 2)
+    momenta = beta * gamma[:, None]
+    weight = config.density * grid_config.cell_volume / config.particles_per_cell
+    weights = np.full(n_macro, weight)
+
+    electrons = ParticleSpecies.electrons(positions, momenta, weights)
+    ions = ParticleSpecies.protons(positions.copy(), momenta.copy(), weights.copy(),
+                                   pushed=True)
+    simulation = PICSimulation(SimulationConfig(grid=grid_config), species=[electrons, ions])
+    simulation.initialize_fields_from_charge()
+    return simulation
+
+
+def measured_weak_scaling(config: ScalingBenchmarkConfig | None = None,
+                          gpu_counts: Tuple[int, ...] = (1, 2, 4),
+                          n_steps: int = 2,
+                          rng: RandomState = None) -> List[Tuple[int, FigureOfMerit]]:
+    """Run the benchmark case at several (simulated-GPU) sizes and return FOMs.
+
+    On a single machine the "GPUs" share the same process, so this measures
+    the algorithmic weak-scaling behaviour of the NumPy implementation (how
+    the per-step cost grows with the volume), which the FOM model then
+    extrapolates with the machine parameters.
+    """
+    config = config or ScalingBenchmarkConfig()
+    results: List[Tuple[int, FigureOfMerit]] = []
+    for n_gpus in gpu_counts:
+        simulation = make_benchmark_simulation(config, n_gpus=n_gpus, rng=rng)
+        fom = simulation.run(n_steps)
+        results.append((int(n_gpus), fom))
+    return results

@@ -1,0 +1,85 @@
+"""Slab domain decomposition.
+
+PIConGPU distributes the simulation volume across GPUs with a spatial domain
+decomposition; only next-neighbour communication (guard/halo exchange) is
+required each step, which is why the simulation itself weak-scales almost
+perfectly (Fig. 4) while the data-parallel training does not (Fig. 8).
+
+For this reproduction a one-dimensional slab decomposition along a chosen
+axis is sufficient: it defines which sub-volume (and therefore which
+particles and which data blocks in the openPMD/streaming layer) every
+simulated rank owns, and it exposes the halo-exchange byte counts consumed
+by the analytic scaling models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.pic.grid import GridConfig
+
+
+@dataclass(frozen=True)
+class DomainSlab:
+    """One rank's share of the box along the decomposition axis."""
+
+    rank: int
+    cell_start: int
+    cell_stop: int
+    axis: int
+
+    @property
+    def n_cells_along_axis(self) -> int:
+        return self.cell_stop - self.cell_start
+
+
+class SlabDecomposition:
+    """Split the global grid into contiguous slabs along ``axis``."""
+
+    def __init__(self, grid_config: GridConfig, n_ranks: int, axis: int = 0) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if axis not in (0, 1, 2):
+            raise ValueError("axis must be 0, 1 or 2")
+        if grid_config.shape[axis] < n_ranks:
+            raise ValueError("cannot decompose: fewer cells along the axis than ranks")
+        self.grid_config = grid_config
+        self.n_ranks = int(n_ranks)
+        self.axis = int(axis)
+
+    def slabs(self) -> List[DomainSlab]:
+        """Return the per-rank slabs (balanced to within one cell)."""
+        n = self.grid_config.shape[self.axis]
+        splits = np.linspace(0, n, self.n_ranks + 1).astype(int)
+        return [DomainSlab(rank=r, cell_start=int(splits[r]), cell_stop=int(splits[r + 1]),
+                           axis=self.axis)
+                for r in range(self.n_ranks)]
+
+    def rank_of_position(self, positions: np.ndarray) -> np.ndarray:
+        """Owning rank of each particle position, shape ``(N,)``."""
+        positions = np.asarray(positions, dtype=np.float64)
+        cell = self.grid_config.cell_size[self.axis]
+        n = self.grid_config.shape[self.axis]
+        cells = np.mod(np.floor(positions[:, self.axis] / cell).astype(np.int64), n)
+        splits = np.linspace(0, n, self.n_ranks + 1).astype(int)
+        return np.clip(np.searchsorted(splits, cells, side="right") - 1, 0, self.n_ranks - 1)
+
+    def local_extent(self, rank: int) -> Tuple[float, float]:
+        """Physical interval [start, stop) owned by ``rank`` along the axis, metres."""
+        slab = self.slabs()[rank]
+        d = self.grid_config.cell_size[self.axis]
+        return slab.cell_start * d, slab.cell_stop * d
+
+    def halo_cells(self, guard_cells: int = 1) -> int:
+        """Number of guard cells exchanged with each neighbour per step."""
+        shape = list(self.grid_config.shape)
+        shape[self.axis] = guard_cells
+        return int(np.prod(shape))
+
+    def halo_bytes(self, fields_per_cell: int = 6, bytes_per_value: int = 8,
+                   guard_cells: int = 1) -> int:
+        """Bytes exchanged with each neighbour per step (field halo only)."""
+        return self.halo_cells(guard_cells) * fields_per_cell * bytes_per_value

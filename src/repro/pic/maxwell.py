@@ -1,0 +1,93 @@
+"""FDTD Maxwell solver on the Yee grid with periodic boundaries.
+
+The curl operators are implemented with :func:`numpy.roll`, which realises
+periodic boundary conditions without any halo bookkeeping.  The update is
+the standard leapfrog
+
+.. math::
+
+    B^{n+1/2} &= B^{n-1/2} - \\Delta t\\, \\nabla \\times E^n \\\\
+    E^{n+1}   &= E^n + \\Delta t\\,(c^2 \\nabla \\times B^{n+1/2}
+                 - J^{n+1/2} / \\varepsilon_0)
+
+split into two half B-pushes around the E update so that E and B are both
+known at integer time steps when diagnostics run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants
+from repro.pic.grid import YeeGrid
+
+
+class YeeSolver:
+    """Explicit FDTD solver bound to a :class:`YeeGrid`."""
+
+    def __init__(self, grid: YeeGrid) -> None:
+        self.grid = grid
+
+    # -- curl operators --------------------------------------------------- #
+    def curl_e(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Curl of E evaluated at the B component locations (forward differences)."""
+        g = self.grid
+        dx, dy, dz = g.config.cell_size
+        dez_dy = (np.roll(g.Ez, -1, axis=1) - g.Ez) / dy
+        dey_dz = (np.roll(g.Ey, -1, axis=2) - g.Ey) / dz
+        dex_dz = (np.roll(g.Ex, -1, axis=2) - g.Ex) / dz
+        dez_dx = (np.roll(g.Ez, -1, axis=0) - g.Ez) / dx
+        dey_dx = (np.roll(g.Ey, -1, axis=0) - g.Ey) / dx
+        dex_dy = (np.roll(g.Ex, -1, axis=1) - g.Ex) / dy
+        return dez_dy - dey_dz, dex_dz - dez_dx, dey_dx - dex_dy
+
+    def curl_b(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Curl of B evaluated at the E component locations (backward differences)."""
+        g = self.grid
+        dx, dy, dz = g.config.cell_size
+        dbz_dy = (g.Bz - np.roll(g.Bz, 1, axis=1)) / dy
+        dby_dz = (g.By - np.roll(g.By, 1, axis=2)) / dz
+        dbx_dz = (g.Bx - np.roll(g.Bx, 1, axis=2)) / dz
+        dbz_dx = (g.Bz - np.roll(g.Bz, 1, axis=0)) / dx
+        dby_dx = (g.By - np.roll(g.By, 1, axis=0)) / dx
+        dbx_dy = (g.Bx - np.roll(g.Bx, 1, axis=1)) / dy
+        return dbz_dy - dby_dz, dbx_dz - dbz_dx, dby_dx - dbx_dy
+
+    # -- updates ----------------------------------------------------------- #
+    def push_b(self, dt: float) -> None:
+        """Advance B by ``dt`` using the curl of E."""
+        cx, cy, cz = self.curl_e()
+        self.grid.Bx -= dt * cx
+        self.grid.By -= dt * cy
+        self.grid.Bz -= dt * cz
+
+    def push_e(self, dt: float) -> None:
+        """Advance E by ``dt`` using the curl of B and the current density."""
+        c2 = constants.SPEED_OF_LIGHT ** 2
+        inv_eps0 = 1.0 / constants.EPSILON_0
+        cx, cy, cz = self.curl_b()
+        self.grid.Ex += dt * (c2 * cx - inv_eps0 * self.grid.Jx)
+        self.grid.Ey += dt * (c2 * cy - inv_eps0 * self.grid.Jy)
+        self.grid.Ez += dt * (c2 * cz - inv_eps0 * self.grid.Jz)
+
+    def step(self, dt: float) -> None:
+        """One full field update: half B, full E, half B."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if dt > self.grid.config.courant_time_step(safety=1.0):
+            raise ValueError("time step violates the CFL stability limit")
+        self.push_b(0.5 * dt)
+        self.push_e(dt)
+        self.push_b(0.5 * dt)
+
+    # -- diagnostics -------------------------------------------------------- #
+    def gauss_error(self, rho: np.ndarray | None = None) -> float:
+        """RMS residual of Gauss's law ``div E - rho / eps0`` over the grid."""
+        g = self.grid
+        dx, dy, dz = g.config.cell_size
+        div_e = ((g.Ex - np.roll(g.Ex, 1, axis=0)) / dx
+                 + (g.Ey - np.roll(g.Ey, 1, axis=1)) / dy
+                 + (g.Ez - np.roll(g.Ez, 1, axis=2)) / dz)
+        rho = g.rho if rho is None else rho
+        residual = div_e - rho / constants.EPSILON_0
+        return float(np.sqrt(np.mean(residual ** 2)))

@@ -1,0 +1,99 @@
+"""Supercell indexing of macro-particles.
+
+PIConGPU organises particles into *supercells* (fixed-size tiles of cells)
+to optimise data access patterns on GPUs.  In this reproduction the same
+structure serves two purposes:
+
+* it provides the cache-friendly particle ordering used when the simulation
+  produces per-sub-volume training samples for the MLapp (each training
+  point cloud is drawn from a local region of the plasma), and
+* it is the unit at which the ML transforms (:mod:`repro.core.transforms`)
+  extract "local phase-space dynamics" (Section III) — the point clouds the
+  encoder sees correspond to one sub-volume each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.pic.grid import GridConfig
+
+
+@dataclass(frozen=True)
+class Supercell:
+    """One tile of cells: its integer index and cell-space bounds."""
+
+    index: Tuple[int, int, int]
+    lower_cell: Tuple[int, int, int]
+    upper_cell: Tuple[int, int, int]
+
+
+class SupercellIndex:
+    """Sort particles into supercells of ``supercell_shape`` cells each."""
+
+    def __init__(self, grid_config: GridConfig,
+                 supercell_shape: Tuple[int, int, int] = (8, 8, 4)) -> None:
+        self.grid_config = grid_config
+        self.supercell_shape = tuple(int(s) for s in supercell_shape)
+        if any(s < 1 for s in self.supercell_shape):
+            raise ValueError("supercell shape entries must be >= 1")
+        self.counts = tuple(
+            int(np.ceil(n / s)) for n, s in zip(grid_config.shape, self.supercell_shape))
+
+    @property
+    def n_supercells(self) -> int:
+        return int(np.prod(self.counts))
+
+    def supercells(self) -> Iterator[Supercell]:
+        """Iterate over all supercells in row-major order."""
+        sx, sy, sz = self.supercell_shape
+        nx, ny, nz = self.grid_config.shape
+        for ix in range(self.counts[0]):
+            for iy in range(self.counts[1]):
+                for iz in range(self.counts[2]):
+                    lower = (ix * sx, iy * sy, iz * sz)
+                    upper = (min((ix + 1) * sx, nx), min((iy + 1) * sy, ny),
+                             min((iz + 1) * sz, nz))
+                    yield Supercell((ix, iy, iz), lower, upper)
+
+    def cell_indices(self, positions: np.ndarray) -> np.ndarray:
+        """Integer cell index of each particle, shape ``(N, 3)``."""
+        positions = np.asarray(positions, dtype=np.float64)
+        cell = np.asarray(self.grid_config.cell_size)
+        shape = np.asarray(self.grid_config.shape)
+        idx = np.floor(positions / cell).astype(np.int64)
+        return np.mod(idx, shape)
+
+    def supercell_indices(self, positions: np.ndarray) -> np.ndarray:
+        """Supercell index triple of each particle, shape ``(N, 3)``."""
+        cells = self.cell_indices(positions)
+        return cells // np.asarray(self.supercell_shape)
+
+    def flat_indices(self, positions: np.ndarray) -> np.ndarray:
+        """Flattened (row-major) supercell id of each particle, shape ``(N,)``."""
+        sc = self.supercell_indices(positions)
+        cx, cy, cz = self.counts
+        return (sc[:, 0] * cy + sc[:, 1]) * cz + sc[:, 2]
+
+    def sort_order(self, positions: np.ndarray) -> np.ndarray:
+        """Permutation sorting particles by supercell id (PIConGPU-style ordering)."""
+        return np.argsort(self.flat_indices(positions), kind="stable")
+
+    def group_by_supercell(self, positions: np.ndarray) -> Dict[int, np.ndarray]:
+        """Map flat supercell id -> array of particle indices in that supercell."""
+        flat = self.flat_indices(positions)
+        order = np.argsort(flat, kind="stable")
+        sorted_flat = flat[order]
+        boundaries = np.flatnonzero(np.diff(sorted_flat)) + 1
+        groups = np.split(order, boundaries)
+        ids = sorted_flat[np.concatenate([[0], boundaries])] if len(order) else np.array([], dtype=np.int64)
+        return {int(i): g for i, g in zip(ids, groups)}
+
+    def occupancy(self, positions: np.ndarray) -> np.ndarray:
+        """Number of particles per supercell, shape ``counts``."""
+        flat = self.flat_indices(positions)
+        counts = np.bincount(flat, minlength=self.n_supercells)
+        return counts.reshape(self.counts)

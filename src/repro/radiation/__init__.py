@@ -1,0 +1,38 @@
+"""Far-field radiation diagnostics (the PIConGPU radiation plugin).
+
+The paper computes spectrally and angularly resolved far-field radiation
+in-situ with the Liénard-Wiechert potential approach (Section IV-A),
+because storing per-particle trajectories for offline analysis is
+impossible.  The emitted radiation is the *observable* from which the ML
+model must reconstruct the particle dynamics.
+
+* :mod:`repro.radiation.detector` — the angular/spectral detector grid.
+* :mod:`repro.radiation.lienard_wiechert` — per-time-step far-field
+  amplitude accumulation.
+* :mod:`repro.radiation.form_factor` — macro-particle form factors for
+  quantitatively consistent coherent and incoherent radiation
+  (Pausch et al. 2018).
+* :mod:`repro.radiation.plugin` — the in-situ plugin hooked into
+  :class:`repro.pic.PICSimulation`.
+"""
+
+from repro.radiation.detector import RadiationDetector, direction_grid, frequency_grid
+from repro.radiation.lienard_wiechert import (accumulate_amplitude,
+                                              radiation_amplitude_step)
+from repro.radiation.form_factor import macro_particle_form_factor, combine_coherent_incoherent
+from repro.radiation.plugin import RadiationPlugin, RadiationResult
+from repro.radiation.spectrum import spectrum_from_amplitude, total_radiated_energy
+
+__all__ = [
+    "RadiationDetector",
+    "direction_grid",
+    "frequency_grid",
+    "accumulate_amplitude",
+    "radiation_amplitude_step",
+    "macro_particle_form_factor",
+    "combine_coherent_incoherent",
+    "RadiationPlugin",
+    "RadiationResult",
+    "spectrum_from_amplitude",
+    "total_radiated_energy",
+]

@@ -1,0 +1,75 @@
+"""Macro-particle form factors for coherent and incoherent radiation.
+
+A macro-particle representing ``w`` real electrons radiates coherently
+(∝ w²) at wavelengths long compared to the macro-particle extent and
+incoherently (∝ w) at short wavelengths.  Pausch et al. (2018) introduce a
+form-factor formalism that makes PIC radiation spectra quantitatively
+consistent across both regimes; this module implements that combination for
+the CIC/Gaussian macro-particle shapes used here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants
+
+
+def macro_particle_form_factor(omega: np.ndarray, macro_extent: float,
+                               shape: str = "gaussian") -> np.ndarray:
+    """Spectral form factor ``F(omega)`` in [0, 1] of one macro-particle.
+
+    Parameters
+    ----------
+    omega:
+        Angular frequencies [rad/s].
+    macro_extent:
+        Characteristic size of the macro-particle (of order the cell size)
+        in metres.
+    shape:
+        ``"gaussian"`` — Fourier transform of a Gaussian cloud;
+        ``"cic"`` — squared-sinc transform of the linear (CIC) shape.
+    """
+    omega = np.asarray(omega, dtype=np.float64)
+    if macro_extent < 0:
+        raise ValueError("macro_extent must be non-negative")
+    k = omega / constants.SPEED_OF_LIGHT
+    x = k * macro_extent
+    if shape == "gaussian":
+        return np.exp(-0.5 * x ** 2)
+    if shape == "cic":
+        # triangle (CIC) shape -> sinc^2 form factor
+        small = x < 1e-12
+        s = np.where(small, 1.0, np.sin(x / 2.0) / np.where(small, 1.0, x / 2.0))
+        return s ** 2
+    raise ValueError("shape must be 'gaussian' or 'cic'")
+
+
+def combine_coherent_incoherent(coherent_amplitude: np.ndarray,
+                                incoherent_power: np.ndarray,
+                                form_factor: np.ndarray) -> np.ndarray:
+    """Combine coherent and incoherent contributions into one spectrum.
+
+    Parameters
+    ----------
+    coherent_amplitude:
+        ``|sum_p w_p a_p|^2`` evaluated per (direction, frequency) — the
+        fully coherent limit.
+    incoherent_power:
+        ``sum_p w_p |a_p|^2`` per (direction, frequency) — the fully
+        incoherent limit.
+    form_factor:
+        ``F(omega)`` per frequency (broadcast over directions).
+
+    Returns
+    -------
+    ``F^2 * coherent + (1 - F^2) * incoherent`` — the Pausch et al. (2018)
+    interpolation between the two limits.
+    """
+    coherent_amplitude = np.asarray(coherent_amplitude, dtype=np.float64)
+    incoherent_power = np.asarray(incoherent_power, dtype=np.float64)
+    form_factor = np.asarray(form_factor, dtype=np.float64)
+    if np.any(form_factor < 0) or np.any(form_factor > 1):
+        raise ValueError("form factors must lie in [0, 1]")
+    f2 = form_factor ** 2
+    return f2 * coherent_amplitude + (1.0 - f2) * incoherent_power

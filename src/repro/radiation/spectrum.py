@@ -1,0 +1,64 @@
+"""Turning accumulated far-field amplitudes into spectra."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.radiation.detector import RadiationDetector
+from repro.radiation.lienard_wiechert import spectral_prefactor
+
+
+def spectrum_from_amplitude(amplitude: np.ndarray, charge: float) -> np.ndarray:
+    """Spectral energy density ``d^2 I / dOmega domega`` from the amplitude.
+
+    Parameters
+    ----------
+    amplitude:
+        Complex array ``(n_directions, n_frequencies, 3)`` as accumulated by
+        :func:`repro.radiation.lienard_wiechert.accumulate_amplitude`.
+    charge:
+        Charge of one real particle [C] (the macro-particle weights are
+        already folded into the amplitude).
+
+    Returns
+    -------
+    Real array ``(n_directions, n_frequencies)`` in J·s/sr.
+    """
+    amplitude = np.asarray(amplitude)
+    if amplitude.ndim != 3 or amplitude.shape[-1] != 3:
+        raise ValueError("amplitude must have shape (directions, frequencies, 3)")
+    power = np.sum(np.abs(amplitude) ** 2, axis=-1)
+    return spectral_prefactor(charge) * power
+
+
+def total_radiated_energy(spectrum: np.ndarray, detector: RadiationDetector,
+                          solid_angle_per_direction: float = 4.0 * np.pi) -> float:
+    """Integrate a spectrum over frequency and solid angle.
+
+    The default assigns the full sphere split uniformly over the detector's
+    directions, which is adequate for relative comparisons; pass the actual
+    per-direction solid angle for absolute numbers.
+    """
+    spectrum = np.asarray(spectrum, dtype=np.float64)
+    if spectrum.shape != detector.shape:
+        raise ValueError("spectrum shape does not match the detector")
+    omega = detector.frequencies
+    if len(omega) < 2:
+        return float(spectrum.sum() * solid_angle_per_direction / detector.n_directions)
+    per_direction = np.trapezoid(spectrum, omega, axis=1)
+    return float(per_direction.sum() * solid_angle_per_direction / detector.n_directions)
+
+
+def normalize_log_spectrum(spectrum: np.ndarray, floor: float = 1e-30) -> np.ndarray:
+    """Log-scale and normalise a spectrum for use as an ML input.
+
+    The observed intensities span many orders of magnitude (Fig. 9a); the
+    MLapp feeds ``log10`` intensities normalised to zero mean and unit range
+    per sample to the INN.
+    """
+    spectrum = np.asarray(spectrum, dtype=np.float64)
+    logged = np.log10(np.maximum(spectrum, floor))
+    lo, hi = logged.min(), logged.max()
+    if hi - lo < 1e-12:
+        return np.zeros_like(logged)
+    return (logged - lo) / (hi - lo)

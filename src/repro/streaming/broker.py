@@ -1,0 +1,113 @@
+"""The in-process broker connecting one writer to its readers.
+
+The SST engine holds produced steps in a bounded queue ("QueueLimit" in
+ADIOS2 terms).  When the queue is full the writer either blocks — stalling
+the simulation, which the paper explicitly allows ("as long as we have some
+leeway to stall the running simulation") — or discards the oldest step.
+Both policies are implemented; the in-transit trainer relies on ``BLOCK``.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.streaming.step import Step
+
+
+class QueueFullPolicy(enum.Enum):
+    """What the writer does when the step queue is full."""
+
+    BLOCK = "block"
+    DISCARD_OLDEST = "discard_oldest"
+    RAISE = "raise"
+
+
+class StreamClosedError(RuntimeError):
+    """Raised when interacting with a stream whose writer has closed it."""
+
+
+class SSTBroker:
+    """Bounded, thread-safe step queue between a writer and one reader group.
+
+    The reproduction drives producer and consumer either from the same
+    thread (strictly alternating begin/end step calls, the common case in
+    tests) or from separate threads (the streaming examples); the broker
+    supports both via condition variables with timeouts.
+    """
+
+    def __init__(self, stream_name: str, queue_limit: int = 2,
+                 policy: QueueFullPolicy = QueueFullPolicy.BLOCK) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.stream_name = stream_name
+        self.queue_limit = int(queue_limit)
+        self.policy = policy
+        self._queue: Deque[Step] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        self.steps_written = 0
+        self.steps_read = 0
+        self.steps_discarded = 0
+        self.bytes_written = 0
+
+    # -- writer side -------------------------------------------------------- #
+    def put_step(self, step: Step, timeout: Optional[float] = None) -> None:
+        """Enqueue a finished step according to the queue-full policy."""
+        with self._lock:
+            if self._closed:
+                raise StreamClosedError(f"stream {self.stream_name!r} is closed")
+            if len(self._queue) >= self.queue_limit:
+                if self.policy is QueueFullPolicy.RAISE:
+                    raise RuntimeError("step queue is full")
+                if self.policy is QueueFullPolicy.DISCARD_OLDEST:
+                    self._queue.popleft()
+                    self.steps_discarded += 1
+                else:  # BLOCK
+                    deadline_ok = self._not_full.wait_for(
+                        lambda: len(self._queue) < self.queue_limit or self._closed,
+                        timeout=timeout)
+                    if not deadline_ok:
+                        raise TimeoutError("timed out waiting for the reader to drain the queue")
+                    if self._closed:
+                        raise StreamClosedError(f"stream {self.stream_name!r} is closed")
+            self._queue.append(step)
+            self.steps_written += 1
+            self.bytes_written += step.nbytes
+            self._not_empty.notify_all()
+
+    def close(self) -> None:
+        """Mark the end of the stream (readers receive END_OF_STREAM afterwards)."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    # -- reader side ----------------------------------------------------------- #
+    def get_step(self, timeout: Optional[float] = None) -> Optional[Step]:
+        """Dequeue the next step; ``None`` signals end of stream."""
+        with self._lock:
+            ready = self._not_empty.wait_for(
+                lambda: self._queue or self._closed, timeout=timeout)
+            if not ready:
+                raise TimeoutError("timed out waiting for the writer to produce a step")
+            if not self._queue:
+                return None  # closed and drained
+            step = self._queue.popleft()
+            self.steps_read += 1
+            self._not_full.notify_all()
+            return step
+
+    # -- introspection ------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def queued_steps(self) -> int:
+        with self._lock:
+            return len(self._queue)

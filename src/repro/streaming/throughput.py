@@ -1,0 +1,89 @@
+"""Throughput accounting for streaming runs.
+
+Follows the paper's definition: "The parallel throughput is calculated based
+on this measured time and the global data size" — i.e. global bytes divided
+by the per-step load time, even though that time includes communication
+overhead (shown in [43] to be a close approximation of the real throughput).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Result of one streaming throughput measurement."""
+
+    n_nodes: int
+    bytes_per_node: float
+    step_times: tuple
+    data_plane: str = "inmemory"
+    enqueue_strategy: str = "batched"
+
+    @property
+    def global_bytes(self) -> float:
+        return self.bytes_per_node * self.n_nodes
+
+    @property
+    def per_step_throughput(self) -> np.ndarray:
+        """Parallel (global) throughput per step [bytes/s]."""
+        times = np.asarray(self.step_times, dtype=np.float64)
+        return self.global_bytes / times
+
+    @property
+    def median_throughput(self) -> float:
+        return float(np.median(self.per_step_throughput))
+
+    @property
+    def min_throughput(self) -> float:
+        return float(self.per_step_throughput.min())
+
+    @property
+    def max_throughput(self) -> float:
+        return float(self.per_step_throughput.max())
+
+    @property
+    def per_node_throughput(self) -> np.ndarray:
+        """Per-node throughput per step [bytes/s]."""
+        return self.per_step_throughput / self.n_nodes
+
+    def terabytes_per_second(self) -> float:
+        """Median parallel throughput in TB/s (the unit of Fig. 6)."""
+        return self.median_throughput / 1e12
+
+
+def measure_stream_throughput(step_times: Sequence[float], n_nodes: int,
+                              bytes_per_node: float, data_plane: str = "inmemory",
+                              enqueue_strategy: str = "batched") -> ThroughputResult:
+    """Package raw per-step load times into a :class:`ThroughputResult`."""
+    step_times = tuple(float(t) for t in step_times)
+    if not step_times:
+        raise ValueError("at least one step time is required")
+    if any(t <= 0 for t in step_times):
+        raise ValueError("step times must be positive")
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    return ThroughputResult(n_nodes=n_nodes, bytes_per_node=float(bytes_per_node),
+                            step_times=step_times, data_plane=data_plane,
+                            enqueue_strategy=enqueue_strategy)
+
+
+def remove_outliers(values: Sequence[float], n_sigma: float = 4.0) -> List[float]:
+    """Drop entries more than ``n_sigma`` standard deviations from the mean.
+
+    The paper removes an "obvious outlier result" from the libfabric
+    benchmark and removes >4σ outliers from the training-time measurements;
+    this helper implements the same rule.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return []
+    mean, std = arr.mean(), arr.std()
+    if std == 0:
+        return list(arr)
+    keep = np.abs(arr - mean) <= n_sigma * std
+    return list(arr[keep])

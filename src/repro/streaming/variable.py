@@ -1,0 +1,76 @@
+"""Variables and blocks: the units of data exchanged per step."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Block:
+    """One writer rank's chunk of a variable (a "block" in ADIOS2 terms).
+
+    Attributes
+    ----------
+    rank:
+        Producing rank (the paper's intra-node setup selects blocks so that
+        readers load data produced on their own node).
+    offset:
+        Start of the block within the global array, one entry per dimension.
+    data:
+        The block's payload.
+    """
+
+    rank: int
+    offset: Tuple[int, ...]
+    data: np.ndarray
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(self.data.shape)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+
+@dataclass
+class Variable:
+    """A named, possibly multi-block variable inside a step."""
+
+    name: str
+    blocks: Dict[int, Block] = field(default_factory=dict)
+
+    def add_block(self, block: Block) -> None:
+        self.blocks[block.rank] = block
+
+    def block(self, rank: int) -> Block:
+        return self.blocks[rank]
+
+    @property
+    def ranks(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.blocks))
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self.blocks.values())
+
+    def gather(self) -> np.ndarray:
+        """Concatenate all blocks along the first axis in rank order.
+
+        This matches the slab decomposition used by the producer: each rank
+        contributes a contiguous range of the leading dimension.
+        """
+        if not self.blocks:
+            raise ValueError(f"variable {self.name!r} has no blocks")
+        ordered = [self.blocks[r].data for r in self.ranks]
+        if len(ordered) == 1:
+            return ordered[0]
+        return np.concatenate(ordered, axis=0)
+
+    @property
+    def dtype(self):
+        first = next(iter(self.blocks.values()), None)
+        return None if first is None else first.data.dtype

@@ -1,0 +1,23 @@
+"""Shared utilities: deterministic RNG handling, timers and validation."""
+
+from repro.utils.rng import RandomState, seeded_rng, spawn_rngs
+from repro.utils.timer import Timer, WallClock, timed
+from repro.utils.validation import (
+    check_array,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+__all__ = [
+    "RandomState",
+    "seeded_rng",
+    "spawn_rngs",
+    "Timer",
+    "WallClock",
+    "timed",
+    "check_array",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+]

@@ -1,0 +1,95 @@
+"""Tests of the growth-rate measurement utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.growth import (fit_exponential_growth, growth_rate_from_energy_history,
+                                   growth_rate_from_radiation_history,
+                                   identify_linear_phase)
+from repro.pic.diagnostics import EnergyHistory
+
+
+class TestExponentialFit:
+    def test_recovers_known_rate(self):
+        gamma = 2.0e10
+        times = np.linspace(0, 1e-9, 50)
+        energies = 1e-6 * np.exp(2.0 * gamma * times)
+        fit = fit_exponential_growth(times, energies)
+        assert fit.rate == pytest.approx(gamma, rel=1e-6)
+        assert fit.energy_rate == pytest.approx(2 * gamma, rel=1e-6)
+        assert fit.r_squared > 0.999
+        assert fit.e_folding_time == pytest.approx(1.0 / gamma, rel=1e-6)
+
+    def test_window_selection(self):
+        times = np.linspace(0, 1.0, 40)
+        energies = np.exp(3.0 * times)
+        fit = fit_exponential_growth(times, energies, window=(5, 25))
+        assert fit.window == (5, 25)
+        assert fit.energy_rate == pytest.approx(3.0, rel=1e-6)
+
+    def test_noisy_signal_still_close(self, rng):
+        gamma = 1.0e10
+        times = np.linspace(0, 2e-9, 80)
+        energies = 1e-8 * np.exp(2 * gamma * times) * rng.lognormal(0.0, 0.1, size=80)
+        fit = fit_exponential_growth(times, energies)
+        assert fit.rate == pytest.approx(gamma, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_exponential_growth([0, 1], [1, 2])
+        times = np.linspace(0, 1, 10)
+        with pytest.raises(ValueError):
+            fit_exponential_growth(times, np.ones(10), window=(0, 2))
+        with pytest.raises(ValueError):
+            fit_exponential_growth(times, np.zeros(10))
+
+
+class TestFromHistories:
+    def test_from_energy_history_plugin(self):
+        history = EnergyHistory()
+        dt = 1e-13
+        gamma = 5e10
+        for step in range(0, 60, 2):
+            history.steps.append(step)
+            history.magnetic.append(1e-9 * np.exp(2 * gamma * step * dt))
+            history.electric.append(0.0)
+            history.kinetic.append(1.0)
+        fit = growth_rate_from_energy_history(history, dt=dt)
+        assert fit.rate == pytest.approx(gamma, rel=1e-3)
+
+    def test_from_radiation_history(self):
+        times = np.linspace(0, 1e-10, 30)
+        power = 1e-3 * np.exp(4e10 * times)
+        fit = growth_rate_from_radiation_history(times, power)
+        assert fit.energy_rate == pytest.approx(4e10, rel=1e-3)
+
+    def test_energy_and_radiation_rates_agree(self):
+        """The paper's point: the growth rate is measurable from radiation."""
+        times = np.linspace(0, 1e-10, 40)
+        gamma = 3e10
+        field_energy = 1e-9 * np.exp(2 * gamma * times)
+        radiated_power = 5e-4 * np.exp(2 * gamma * times)
+        from_fields = fit_exponential_growth(times, field_energy)
+        from_radiation = growth_rate_from_radiation_history(times, radiated_power)
+        assert from_fields.rate == pytest.approx(from_radiation.rate, rel=1e-6)
+
+
+class TestLinearPhaseDetection:
+    def test_finds_growth_window(self):
+        times = np.arange(100, dtype=float)
+        energies = np.concatenate([
+            np.full(20, 1.0),                        # noise floor
+            np.exp(0.3 * np.arange(40)),             # growth
+            np.full(40, np.exp(0.3 * 39)),           # saturation
+        ])
+        start, stop = identify_linear_phase(energies)
+        assert 15 <= start <= 40
+        assert stop <= 65
+        fit = fit_exponential_growth(times, energies, window=(start, stop))
+        assert fit.energy_rate == pytest.approx(0.3, rel=0.2)
+
+    def test_too_short_series(self):
+        with pytest.raises(ValueError):
+            identify_linear_phase([1.0, 2.0])

@@ -1,0 +1,118 @@
+"""End-to-end integration tests of the coupled Artificial-Scientist workflow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ArtificialScientist, MLConfig, StreamingConfig, WorkflowConfig
+from repro.core.mlapp import MLApp
+from repro.models.config import ModelConfig
+from repro.openpmd import Access, MemoryBackend, Series
+from repro.pic.khi import KHIConfig
+
+
+def tiny_config(n_rep=1, queue_limit=4):
+    model = ModelConfig(n_input_points=24, encoder_channels=(12, 24),
+                        encoder_head_hidden=16, latent_dim=16,
+                        decoder_grid=(2, 2, 2), decoder_channels=(8, 6),
+                        spectrum_dim=8, inn_blocks=2, inn_hidden=(16,))
+    return WorkflowConfig(
+        khi=KHIConfig(grid_shape=(6, 12, 2), particles_per_cell=3, seed=9),
+        ml=MLConfig(model=model, n_rep=n_rep, base_learning_rate=1e-3),
+        streaming=StreamingConfig(queue_limit=queue_limit),
+        region_counts=(1, 4, 1),
+        n_detector_directions=1,
+        n_detector_frequencies=8,
+        seed=123,
+    )
+
+
+class TestArtificialScientistWorkflow:
+    def test_coupled_run_trains_in_transit(self):
+        scientist = ArtificialScientist(tiny_config(n_rep=2))
+        report = scientist.run(n_steps=3)
+        # every simulation step produced one streamed iteration with 4 regions
+        assert report.n_steps == 3
+        assert report.iterations_streamed == 3
+        assert report.samples_streamed == 12
+        # n_rep iterations per streamed step
+        assert report.training_iterations == 3 * 2
+        assert report.bytes_streamed > 0
+        assert report.final_losses["total"] > 0
+        assert report.wall_time >= report.simulation_time
+
+    def test_report_summary_keys(self):
+        scientist = ArtificialScientist(tiny_config())
+        report = scientist.run(n_steps=2)
+        summary = report.summary()
+        assert {"steps", "iterations_streamed", "training_iterations",
+                "streamed_megabytes", "final_total_loss"} <= set(summary)
+        assert summary["streamed_megabytes"] > 0
+
+    def test_no_intermediate_files_written(self, tmp_path, monkeypatch):
+        """The in-transit workflow writes nothing to disk."""
+        monkeypatch.chdir(tmp_path)
+        scientist = ArtificialScientist(tiny_config())
+        scientist.run(n_steps=2)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_evaluation_after_run(self):
+        scientist = ArtificialScientist(tiny_config(n_rep=1))
+        scientist.run(n_steps=3, keep_for_evaluation=2)
+        report = scientist.evaluate(n_posterior_samples=2)
+        assert report.n_evaluation_samples > 0
+        assert len(report.regions) >= 1
+        assert report.surrogate_spectrum_mse >= 0.0
+
+    def test_evaluate_requires_samples(self):
+        scientist = ArtificialScientist(tiny_config())
+        with pytest.raises(RuntimeError):
+            scientist.evaluate()
+
+    def test_invalid_steps(self):
+        scientist = ArtificialScientist(tiny_config())
+        with pytest.raises(ValueError):
+            scientist.run(0)
+
+    @pytest.mark.slow
+    def test_loss_improves_over_stream(self):
+        """In-transit training reduces the loss over the streamed steps."""
+        scientist = ArtificialScientist(tiny_config(n_rep=4))
+        report = scientist.run(n_steps=10)
+        losses = np.asarray(report.loss_history_total)
+        first = losses[: 4].mean()
+        last = losses[-4:].mean()
+        assert last < first
+
+
+class TestMLAppStandalone:
+    def test_mlapp_requires_reader_series(self):
+        series = Series("x", Access.CREATE, MemoryBackend())
+        with pytest.raises(ValueError):
+            MLApp(series, MLConfig())
+
+    def test_mlapp_consumes_memory_backend(self, rng):
+        """The MLapp can also train from stored (file-like) series — the
+        classical offline workflow retained for comparison."""
+        from repro.core import RegionPartition, StreamingProducerPlugin
+        from repro.pic.khi import make_khi_simulation
+        from repro.radiation.detector import RadiationDetector
+
+        cfg = tiny_config()
+        backend = MemoryBackend()
+        writer = Series("khi", Access.CREATE, backend)
+        sim = make_khi_simulation(cfg.khi)
+        detector = RadiationDetector.for_khi(density=cfg.khi.density,
+                                             n_directions=1, n_frequencies=8)
+        partition = RegionPartition(cfg.khi.grid_config, cfg.region_counts)
+        sim.add_plugin(StreamingProducerPlugin(writer, detector, partition,
+                                               n_points=cfg.ml.model.n_input_points))
+        sim.run(2)
+
+        mlapp = MLApp(Series("khi", Access.READ_LINEAR, backend), cfg.ml, rng=rng)
+        consumed = mlapp.consume()
+        assert consumed == 2
+        assert mlapp.samples_consumed == 8
+        assert len(mlapp.history) == 2 * cfg.ml.n_rep
+        assert mlapp.loss_summary()["total"] > 0

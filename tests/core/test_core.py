@@ -1,0 +1,203 @@
+"""Tests of the workflow configuration, placement, transforms and producer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (MLConfig, PlacementMode, RegionPartition, ResourcePlan,
+                        StreamingConfig, StreamingProducerPlugin, WorkflowConfig,
+                        encode_point_cloud, encode_spectrum, make_training_samples)
+from repro.core.transforms import Region, decode_point_cloud
+from repro.models.config import ModelConfig
+from repro.openpmd import Access, MemoryBackend, Series
+from repro.pic.grid import GridConfig
+from repro.pic.khi import KHIConfig, make_khi_simulation
+from repro.radiation.detector import RadiationDetector
+
+
+def small_workflow_config(**overrides):
+    defaults = dict(
+        khi=KHIConfig(grid_shape=(8, 16, 2), particles_per_cell=4, seed=7),
+        ml=MLConfig(model=ModelConfig(n_input_points=32, encoder_channels=(16, 32),
+                                      encoder_head_hidden=24, latent_dim=24,
+                                      decoder_grid=(2, 2, 2), decoder_channels=(8, 6),
+                                      spectrum_dim=16, inn_blocks=2, inn_hidden=(24,)),
+                    n_rep=1),
+        region_counts=(1, 4, 1),
+        n_detector_directions=2,
+        n_detector_frequencies=8,
+    )
+    defaults.update(overrides)
+    return WorkflowConfig(**defaults)
+
+
+class TestWorkflowConfig:
+    def test_detector_must_match_spectrum_dim(self):
+        with pytest.raises(ValueError):
+            small_workflow_config(n_detector_frequencies=4)
+
+    def test_defaults_are_consistent(self):
+        cfg = WorkflowConfig()
+        assert cfg.ml.model.spectrum_dim == \
+            cfg.n_detector_directions * cfg.n_detector_frequencies
+        assert cfg.n_regions == 4
+
+    def test_n_points_defaults_to_model_input(self):
+        cfg = small_workflow_config()
+        assert cfg.n_points_per_sample == cfg.ml.model.n_input_points
+
+
+class TestPlacement:
+    def test_intra_node_split(self):
+        plan = ResourcePlan(n_nodes=10, mode=PlacementMode.INTRA_NODE,
+                            producer_gcds_per_node=4)
+        assert plan.producer_nodes == 10 and plan.consumer_nodes == 10
+        assert plan.total_producer_gcds == 40
+        assert plan.total_consumer_gcds == 40
+
+    def test_inter_node_split(self):
+        plan = ResourcePlan(n_nodes=10, mode=PlacementMode.INTER_NODE,
+                            consumer_node_fraction=0.3)
+        assert plan.consumer_nodes == 3
+        assert plan.producer_nodes == 7
+        assert plan.total_consumer_gcds == 3 * 8
+
+    def test_intra_node_has_higher_exchange_bandwidth(self):
+        intra = ResourcePlan(n_nodes=4, mode=PlacementMode.INTRA_NODE)
+        inter = ResourcePlan(n_nodes=4, mode=PlacementMode.INTER_NODE)
+        assert intra.exchange_bandwidth_per_node() > inter.exchange_bandwidth_per_node()
+        assert intra.exchange_time_per_step(5.86e9) < inter.exchange_time_per_step(5.86e9)
+
+    def test_describe_keys(self):
+        plan = ResourcePlan(n_nodes=2)
+        assert {"mode", "producer_gcds", "consumer_gcds"} <= set(plan.describe())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResourcePlan(n_nodes=0)
+        with pytest.raises(ValueError):
+            ResourcePlan(n_nodes=2, producer_gcds_per_node=8)
+        with pytest.raises(ValueError):
+            ResourcePlan(n_nodes=2, consumer_node_fraction=1.5)
+        with pytest.raises(ValueError):
+            ResourcePlan(n_nodes=2).exchange_time_per_step(-1.0)
+
+
+class TestRegionPartition:
+    def test_partition_covers_box(self):
+        grid = GridConfig(shape=(8, 16, 2), cell_size=(1e-5,) * 3)
+        partition = RegionPartition(grid, (2, 4, 1))
+        regions = partition.regions()
+        assert len(regions) == 8
+        uppers = np.max([r.upper for r in regions], axis=0)
+        np.testing.assert_allclose(uppers, grid.extent)
+
+    def test_region_of_assigns_all_particles(self, rng):
+        grid = GridConfig(shape=(8, 16, 2), cell_size=(1e-5,) * 3)
+        partition = RegionPartition(grid, (1, 4, 1))
+        positions = rng.uniform(0, 1, size=(200, 3)) * np.asarray(grid.extent)
+        ids = partition.region_of(positions)
+        assert ids.min() >= 0 and ids.max() < partition.n_regions
+
+    def test_point_cloud_encoding_roundtrip(self, rng):
+        region = Region(index=(0, 0, 0), lower=(0.0, 0.0, 0.0), upper=(2.0, 4.0, 2.0))
+        positions = rng.uniform(0, 1, size=(10, 3)) * np.array([2.0, 4.0, 2.0])
+        momenta = rng.normal(size=(10, 3)) * 0.2
+        cloud = encode_point_cloud(positions, momenta, region)
+        assert np.all(np.abs(cloud[:, :3]) <= 1.0 + 1e-12)
+        back_pos, back_mom = decode_point_cloud(cloud, region)
+        np.testing.assert_allclose(back_pos, positions)
+        np.testing.assert_allclose(back_mom, momenta)
+
+    def test_spectrum_encoding_range(self, rng):
+        spectrum = 10.0 ** rng.uniform(-12, 0, size=(2, 8))
+        encoded = encode_spectrum(spectrum)
+        assert encoded.shape == (16,)
+        assert encoded.min() >= 0.0 and encoded.max() <= 1.0
+
+    def test_invalid_partition(self):
+        grid = GridConfig(shape=(8, 8, 8), cell_size=(1e-5,) * 3)
+        with pytest.raises(ValueError):
+            RegionPartition(grid, (0, 1, 1))
+
+
+class TestMakeTrainingSamples:
+    def test_samples_per_populated_region(self, rng):
+        cfg = KHIConfig(grid_shape=(8, 16, 2), particles_per_cell=4, seed=7)
+        sim = make_khi_simulation(cfg)
+        electrons = sim.get_species("electrons")
+        detector = RadiationDetector.for_khi(density=cfg.density, n_directions=2,
+                                             n_frequencies=8)
+        partition = RegionPartition(cfg.grid_config, (1, 4, 1))
+        samples = make_training_samples(electrons, electrons.momenta.copy(), detector,
+                                        partition, n_points=32, step=0, time=0.0,
+                                        dt=1e-13, rng=rng)
+        assert len(samples) == 4
+        for sample in samples:
+            assert sample.point_cloud.shape == (32, 6)
+            assert sample.spectrum.shape == (16,)
+            assert sample.region in {"approaching", "receding", "vortex"}
+
+    def test_momenta_preserved_in_encoding(self, rng):
+        cfg = KHIConfig(grid_shape=(8, 16, 2), particles_per_cell=4, seed=7)
+        sim = make_khi_simulation(cfg)
+        electrons = sim.get_species("electrons")
+        detector = RadiationDetector.for_khi(density=cfg.density, n_directions=2,
+                                             n_frequencies=8)
+        partition = RegionPartition(cfg.grid_config, (1, 4, 1))
+        samples = make_training_samples(electrons, electrons.momenta.copy(), detector,
+                                        partition, n_points=64, step=0, time=0.0,
+                                        dt=1e-13, rng=rng)
+        # bulk regions keep the ±0.2c drift in the encoded momentum column
+        drifts = {s.region: np.mean(s.point_cloud[:, 3]) for s in samples}
+        assert any(v > 0.1 for v in drifts.values())
+        assert any(v < -0.1 for v in drifts.values())
+
+    def test_validation(self, rng):
+        cfg = KHIConfig(grid_shape=(8, 16, 2), particles_per_cell=2, seed=7)
+        sim = make_khi_simulation(cfg)
+        electrons = sim.get_species("electrons")
+        detector = RadiationDetector.for_khi(density=cfg.density, n_directions=2,
+                                             n_frequencies=8)
+        partition = RegionPartition(cfg.grid_config, (1, 2, 1))
+        with pytest.raises(ValueError):
+            make_training_samples(electrons, electrons.momenta[:5], detector, partition,
+                                  n_points=8, step=0, time=0.0, dt=1e-13)
+        with pytest.raises(ValueError):
+            make_training_samples(electrons, electrons.momenta.copy(), detector, partition,
+                                  n_points=8, step=0, time=0.0, dt=0.0)
+
+
+class TestProducerPlugin:
+    def test_streams_iterations_with_ml_records(self, rng):
+        cfg = KHIConfig(grid_shape=(8, 16, 2), particles_per_cell=4, seed=7)
+        sim = make_khi_simulation(cfg)
+        detector = RadiationDetector.for_khi(density=cfg.density, n_directions=2,
+                                             n_frequencies=8)
+        partition = RegionPartition(cfg.grid_config, (1, 4, 1))
+        backend = MemoryBackend()
+        series = Series("khi", Access.CREATE, backend)
+        plugin = StreamingProducerPlugin(series, detector, partition, n_points=32,
+                                         sample_interval=2, rng=rng)
+        sim.add_plugin(plugin)
+        sim.run(4)
+        assert plugin.iterations_streamed == 2   # steps 2 and 4
+        assert plugin.samples_streamed == 8
+        assert plugin.bytes_streamed > 0
+
+        reader = Series("khi", Access.READ_LINEAR, backend)
+        iterations = list(reader.read_iterations())
+        assert [it.index for it in iterations] == [2, 4]
+        clouds = iterations[0].get_particles("ml_samples")["point_clouds"].load_scalar()
+        assert clouds.shape == (4, 32, 6)
+        assert "electrons" in iterations[0].particles
+
+    def test_requires_create_series(self, rng):
+        cfg = KHIConfig(grid_shape=(8, 16, 2), particles_per_cell=2, seed=7)
+        detector = RadiationDetector.for_khi(density=cfg.density, n_directions=2,
+                                             n_frequencies=8)
+        partition = RegionPartition(cfg.grid_config, (1, 2, 1))
+        series = Series("khi", Access.READ_LINEAR, MemoryBackend())
+        with pytest.raises(ValueError):
+            StreamingProducerPlugin(series, detector, partition, n_points=8)

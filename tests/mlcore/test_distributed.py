@@ -1,0 +1,132 @@
+"""Tests of the simulated data-parallel training machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mlcore.distributed import (DistributedDataParallel, LocalCommunicator,
+                                      RingAllReduceModel)
+from repro.mlcore.layers import Linear, ReLU, Sequential
+from repro.mlcore.losses import mse_loss
+from repro.mlcore.optim import SGD
+from repro.mlcore.tensor import Tensor
+
+
+def make_replicas(n, rng):
+    return [Sequential(Linear(4, 8, rng=np.random.default_rng(1)),
+                       ReLU(),
+                       Linear(8, 1, rng=np.random.default_rng(2)))
+            for _ in range(n)]
+
+
+class TestLocalCommunicator:
+    def test_allreduce_mean(self):
+        comm = LocalCommunicator(4)
+        arrays = [np.full(3, float(r)) for r in range(4)]
+        out = comm.allreduce_mean(arrays)
+        for o in out:
+            np.testing.assert_allclose(o, 1.5)
+        assert comm.record.allreduce_calls == 1
+
+    def test_allgather(self):
+        comm = LocalCommunicator(3)
+        out = comm.allgather([np.full((2, 2), r) for r in range(3)])
+        assert out.shape == (6, 2)
+
+    def test_broadcast(self):
+        comm = LocalCommunicator(2)
+        out = comm.broadcast(np.arange(5), root=0)
+        assert len(out) == 2
+        np.testing.assert_allclose(out[1], np.arange(5))
+
+    def test_wrong_contribution_count(self):
+        comm = LocalCommunicator(2)
+        with pytest.raises(ValueError):
+            comm.allreduce_mean([np.zeros(2)])
+
+    def test_invalid_world_size(self):
+        with pytest.raises(ValueError):
+            LocalCommunicator(0)
+
+
+class TestDDP:
+    def test_sync_parameters(self, rng):
+        replicas = [Sequential(Linear(3, 2, rng=np.random.default_rng(s))) for s in range(3)]
+        ddp = DistributedDataParallel(replicas, LocalCommunicator(3))
+        assert not ddp.parameters_in_sync()
+        ddp.sync_parameters()
+        assert ddp.parameters_in_sync()
+
+    def test_gradient_averaging_equals_large_batch(self, rng):
+        """DDP with gradient averaging must equal a single large-batch step."""
+        world = 4
+        per_rank = 8
+        x = rng.normal(size=(world * per_rank, 4))
+        y = rng.normal(size=(world * per_rank, 1))
+
+        replicas = make_replicas(world, rng)
+        ddp = DistributedDataParallel(replicas, LocalCommunicator(world))
+        ddp.sync_parameters()
+
+        # reference: single model, full batch
+        reference = make_replicas(1, rng)[0]
+        reference.load_state_dict(replicas[0].state_dict())
+        ref_opt = SGD(reference.parameters(), lr=0.1)
+        ref_opt.zero_grad()
+        mse_loss(reference(Tensor(x)), Tensor(y)).backward()
+        ref_opt.step()
+
+        # DDP: shard the batch, average gradients, step each replica
+        optimizers = [SGD(r.parameters(), lr=0.1) for r in replicas]
+        for opt in optimizers:
+            opt.zero_grad()
+        for rank, replica in enumerate(replicas):
+            sl = slice(rank * per_rank, (rank + 1) * per_rank)
+            mse_loss(replica(Tensor(x[sl])), Tensor(y[sl])).backward()
+        ddp.sync_gradients()
+        for opt in optimizers:
+            opt.step()
+
+        assert ddp.parameters_in_sync()
+        for name, value in reference.state_dict().items():
+            np.testing.assert_allclose(replicas[0].state_dict()[name], value, atol=1e-10)
+
+    def test_mismatched_world_size(self, rng):
+        with pytest.raises(ValueError):
+            DistributedDataParallel(make_replicas(2, rng), LocalCommunicator(3))
+
+    def test_gradient_bytes_positive(self, rng):
+        ddp = DistributedDataParallel(make_replicas(2, rng), LocalCommunicator(2))
+        assert ddp.gradient_bytes() > 0
+
+
+class TestRingAllReduceModel:
+    def test_single_rank_is_free(self):
+        model = RingAllReduceModel()
+        assert model.time(1, 1e9) == 0.0
+
+    def test_time_increases_with_message_size(self):
+        model = RingAllReduceModel()
+        assert model.time(16, 2e9) > model.time(16, 1e9)
+
+    def test_time_saturates_with_ranks(self):
+        """The 2(p-1)/p factor approaches 2, so doubling ranks far out barely
+        changes the bandwidth term (latency term keeps growing)."""
+        model = RingAllReduceModel(latency=0.0)
+        t64 = model.time(64, 1e9)
+        t128 = model.time(128, 1e9)
+        assert t128 / t64 < 1.05
+
+    def test_intra_node_faster(self):
+        model = RingAllReduceModel()
+        assert model.time(8, 1e9) < model.time(16, 1e9)
+
+    def test_invalid_world_size(self):
+        with pytest.raises(ValueError):
+            RingAllReduceModel().time(0, 1.0)
+
+    def test_allgather_time_monotone(self):
+        model = RingAllReduceModel()
+        assert model.allgather_time(32, 1e8) > model.allgather_time(16, 1e8)
+        assert model.allgather_time(1, 1e8) == 0.0

@@ -1,0 +1,87 @@
+"""Tests of the functional interface helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mlcore import functional as F
+from repro.mlcore.tensor import Tensor
+from tests.conftest import numerical_gradient
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(4, 7)) * 10)).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0)
+        assert np.all(out > 0)
+
+    def test_log_softmax_consistent(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)))
+        np.testing.assert_allclose(F.log_softmax(x).numpy(),
+                                   np.log(F.softmax(x).numpy()), atol=1e-12)
+
+    def test_softmax_gradient(self, rng):
+        x0 = rng.normal(size=(2, 4))
+        t = Tensor(x0, requires_grad=True)
+        (F.softmax(t)[:, 0]).sum().backward()
+        want = numerical_gradient(
+            lambda arr: float(F.softmax(Tensor(arr)).numpy()[:, 0].sum()), x0)
+        np.testing.assert_allclose(t.grad, want, atol=1e-6)
+
+
+class TestPairwiseDistances:
+    def test_matches_direct_computation(self, rng):
+        a = rng.normal(size=(1, 6, 3))
+        b = rng.normal(size=(1, 4, 3))
+        d2 = F.pairwise_squared_distances(Tensor(a), Tensor(b)).numpy()
+        direct = ((a[:, :, None, :] - b[:, None, :, :]) ** 2).sum(-1)
+        np.testing.assert_allclose(d2, direct, atol=1e-10)
+
+    def test_non_negative(self, rng):
+        a = rng.normal(size=(2, 5, 4))
+        d2 = F.pairwise_squared_distances(Tensor(a), Tensor(a)).numpy()
+        assert np.all(d2 >= 0)
+        np.testing.assert_allclose(np.diagonal(d2, axis1=1, axis2=2), 0.0, atol=1e-9)
+
+
+class TestMisc:
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_allclose(out, np.eye(3)[[0, 2, 1]])
+
+    def test_linear_helper(self, rng):
+        x = Tensor(rng.normal(size=(4, 3)))
+        w = Tensor(rng.normal(size=(3, 2)))
+        b = Tensor(rng.normal(size=(2,)))
+        np.testing.assert_allclose(F.linear(x, w, b).numpy(),
+                                   x.numpy() @ w.numpy() + b.numpy())
+
+    def test_mse_helper(self, rng):
+        a = rng.normal(size=(5,))
+        b = rng.normal(size=(5,))
+        assert F.mse(Tensor(a), b).item() == pytest.approx(np.mean((a - b) ** 2))
+
+    def test_dropout_eval_identity(self, rng):
+        x = Tensor(rng.normal(size=(10,)))
+        np.testing.assert_allclose(F.dropout(x, 0.5, training=False).numpy(), x.numpy())
+
+    def test_dropout_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(rng.normal(size=(4,))), 1.2, training=True)
+
+    def test_clamp(self, rng):
+        x = Tensor(rng.normal(size=(20,)) * 5)
+        out = F.clamp(x, -1.0, 1.0).numpy()
+        assert out.min() >= -1.0 and out.max() <= 1.0
+
+    @pytest.mark.parametrize("fn,ref", [
+        (F.relu, lambda v: np.maximum(v, 0)),
+        (F.tanh, np.tanh),
+        (F.sigmoid, lambda v: 1 / (1 + np.exp(-v))),
+        (F.exp, np.exp),
+        (F.sqrt, np.sqrt),
+    ])
+    def test_elementwise_wrappers(self, fn, ref, rng):
+        x = np.abs(rng.normal(size=(6,))) + 0.1
+        np.testing.assert_allclose(fn(Tensor(x)).numpy(), ref(x), rtol=1e-12)

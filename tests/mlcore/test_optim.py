@@ -1,0 +1,122 @@
+"""Tests of optimisers and LR scaling rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mlcore import optim
+from repro.mlcore.layers import Linear
+from repro.mlcore.losses import mse_loss
+from repro.mlcore.module import Parameter
+from repro.mlcore.optim import (Adam, ParamGroup, SGD, make_block_param_groups,
+                                sqrt_lr_scaling)
+from repro.mlcore.tensor import Tensor
+
+
+def quadratic_problem(rng):
+    """A tiny least-squares problem y = X w_true."""
+    x = rng.normal(size=(64, 4))
+    w_true = rng.normal(size=(4, 1))
+    y = x @ w_true
+    return x, y, w_true
+
+
+class TestSGD:
+    def test_descends_quadratic(self, rng):
+        x, y, w_true = quadratic_problem(rng)
+        layer = Linear(4, 1, bias=False, rng=rng)
+        opt = SGD(layer.parameters(), lr=0.05)
+        first = None
+        for _ in range(200):
+            opt.zero_grad()
+            loss = mse_loss(layer(Tensor(x)), Tensor(y))
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 1e-3 * first
+
+    def test_momentum_accepted(self, rng):
+        layer = Linear(2, 1, rng=rng)
+        opt = SGD(layer.parameters(), lr=0.01, momentum=0.9)
+        opt.zero_grad()
+        mse_loss(layer(Tensor(rng.normal(size=(8, 2)))), Tensor(np.zeros((8, 1)))).backward()
+        opt.step()
+        assert opt.step_count == 1
+
+    def test_invalid_momentum(self, rng):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(2))], lr=0.1, momentum=1.5)
+
+
+class TestAdam:
+    def test_paper_defaults(self):
+        opt = Adam([Parameter(np.zeros(3))])
+        assert opt.beta1 == pytest.approx(0.8)
+        assert opt.beta2 == pytest.approx(0.9)
+        assert opt.eps == pytest.approx(1e-6)
+        assert opt.param_groups[0].weight_decay == pytest.approx(2e-5)
+
+    def test_converges_on_regression(self, rng):
+        x, y, w_true = quadratic_problem(rng)
+        layer = Linear(4, 1, bias=False, rng=rng)
+        opt = Adam(layer.parameters(), lr=0.05, weight_decay=0.0)
+        for _ in range(400):
+            opt.zero_grad()
+            loss = mse_loss(layer(Tensor(x)), Tensor(y))
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(layer.weight.data, w_true, atol=0.05)
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.ones(3))
+        opt = Adam([p], lr=0.1)
+        opt.step()
+        np.testing.assert_allclose(p.data, np.ones(3))
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.full(4, 10.0))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(4)
+        for _ in range(50):
+            opt.step()
+        assert np.all(np.abs(p.data) < 10.0)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.2, 0.9))
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], eps=0.0)
+
+
+class TestParamGroupsAndScaling:
+    def test_sqrt_scaling(self):
+        assert sqrt_lr_scaling(1e-6, 3072, 8) == pytest.approx(1e-6 * np.sqrt(384))
+        assert sqrt_lr_scaling(1e-6, 8, 8) == pytest.approx(1e-6)
+
+    def test_sqrt_scaling_invalid(self):
+        with pytest.raises(ValueError):
+            sqrt_lr_scaling(1e-6, 0, 8)
+
+    def test_block_param_groups(self, rng):
+        vae = Linear(4, 4, rng=rng)
+        inn = Linear(4, 4, rng=rng)
+        groups = make_block_param_groups(vae.parameters(), inn.parameters(),
+                                         base_lr=1e-6, m_vae=10.0, batch_size=256)
+        assert groups[0].name == "vae" and groups[1].name == "inn"
+        assert groups[0].lr == pytest.approx(10.0 * groups[1].lr)
+        assert groups[1].lr == pytest.approx(sqrt_lr_scaling(1e-6, 256, 8))
+
+    def test_optimizer_with_groups(self, rng):
+        vae = Linear(4, 4, rng=rng)
+        inn = Linear(4, 4, rng=rng)
+        groups = make_block_param_groups(vae.parameters(), inn.parameters())
+        opt = Adam(groups, lr=1e-6)
+        assert len(opt.param_groups) == 2
+        opt.set_lr(1e-3, group_name="vae")
+        assert opt.param_groups[0].lr == pytest.approx(1e-3)
+        assert opt.param_groups[1].lr != pytest.approx(1e-3)
+
+    def test_paper_constant_exposed(self):
+        assert optim.PAPER_BASE_LEARNING_RATE == pytest.approx(1e-6)

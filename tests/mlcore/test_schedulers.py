@@ -1,0 +1,122 @@
+"""Tests of learning-rate schedulers and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mlcore.layers import Linear
+from repro.mlcore.losses import mse_loss
+from repro.mlcore.optim import Adam, SGD
+from repro.mlcore.schedulers import (CosineDecayScheduler, ExponentialDecayScheduler,
+                                     WarmupScheduler, clip_gradient_norm,
+                                     gradient_norm)
+from repro.mlcore.module import Parameter
+from repro.mlcore.tensor import Tensor
+
+
+def make_optimizer(rng, lr=0.1):
+    layer = Linear(4, 2, rng=rng)
+    return layer, Adam(layer.parameters(), lr=lr, weight_decay=0.0)
+
+
+class TestWarmup:
+    def test_ramps_to_base_lr(self, rng):
+        layer, opt = make_optimizer(rng, lr=0.1)
+        scheduler = WarmupScheduler(opt, warmup_steps=10, start_factor=0.1)
+        lrs = []
+        for _ in range(12):
+            scheduler.step()
+            lrs.append(opt.param_groups[0].lr)
+        assert lrs[0] < lrs[5] < lrs[9]
+        assert lrs[-1] == pytest.approx(0.1)
+
+    def test_invalid_args(self, rng):
+        _, opt = make_optimizer(rng)
+        with pytest.raises(ValueError):
+            WarmupScheduler(opt, warmup_steps=0)
+        with pytest.raises(ValueError):
+            WarmupScheduler(opt, warmup_steps=5, start_factor=0.0)
+
+
+class TestCosine:
+    def test_decays_to_final_factor(self, rng):
+        _, opt = make_optimizer(rng, lr=1.0)
+        scheduler = CosineDecayScheduler(opt, total_steps=20, final_factor=0.1)
+        for _ in range(20):
+            scheduler.step()
+        assert opt.param_groups[0].lr == pytest.approx(0.1, abs=1e-6)
+
+    def test_monotone_after_warmup(self, rng):
+        _, opt = make_optimizer(rng, lr=1.0)
+        scheduler = CosineDecayScheduler(opt, total_steps=30, warmup_steps=5)
+        lrs = []
+        for _ in range(30):
+            scheduler.step()
+            lrs.append(opt.param_groups[0].lr)
+        after_warmup = lrs[5:]
+        assert all(a >= b - 1e-12 for a, b in zip(after_warmup[:-1], after_warmup[1:]))
+
+    def test_invalid_args(self, rng):
+        _, opt = make_optimizer(rng)
+        with pytest.raises(ValueError):
+            CosineDecayScheduler(opt, total_steps=0)
+        with pytest.raises(ValueError):
+            CosineDecayScheduler(opt, total_steps=10, warmup_steps=10)
+
+
+class TestExponential:
+    def test_decay_rate(self, rng):
+        _, opt = make_optimizer(rng, lr=1.0)
+        scheduler = ExponentialDecayScheduler(opt, gamma=0.5, every=2)
+        for _ in range(4):
+            scheduler.step()
+        assert opt.param_groups[0].lr == pytest.approx(0.25)
+
+    def test_invalid_args(self, rng):
+        _, opt = make_optimizer(rng)
+        with pytest.raises(ValueError):
+            ExponentialDecayScheduler(opt, gamma=0.0)
+        with pytest.raises(ValueError):
+            ExponentialDecayScheduler(opt, gamma=0.5, every=0)
+
+
+class TestSchedulerWithTraining:
+    def test_warmup_then_train_converges(self, rng):
+        x = rng.normal(size=(64, 4))
+        w = rng.normal(size=(4, 1))
+        y = x @ w
+        layer = Linear(4, 1, bias=False, rng=rng)
+        opt = SGD(layer.parameters(), lr=0.05)
+        scheduler = WarmupScheduler(opt, warmup_steps=20)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = mse_loss(layer(Tensor(x)), Tensor(y))
+            loss.backward()
+            opt.step()
+            scheduler.step()
+        assert loss.item() < 1e-3
+
+
+class TestGradientClipping:
+    def test_clips_large_gradients(self):
+        p = Parameter(np.zeros(10))
+        p.grad = np.full(10, 10.0)
+        norm_before = clip_gradient_norm([p], max_norm=1.0)
+        assert norm_before == pytest.approx(np.sqrt(1000.0))
+        assert gradient_norm([p]) == pytest.approx(1.0, rel=1e-9)
+
+    def test_leaves_small_gradients(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.01)
+        clip_gradient_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, 0.01)
+
+    def test_handles_missing_gradients(self):
+        p = Parameter(np.zeros(4))
+        assert clip_gradient_norm([p], max_norm=1.0) == 0.0
+        assert gradient_norm([p]) == 0.0
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_gradient_norm([], max_norm=0.0)

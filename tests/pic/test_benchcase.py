@@ -1,0 +1,56 @@
+"""Tests of the generic weak-scaling benchmark case (TWEAC-FOM analogue)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pic.benchcase import (ScalingBenchmarkConfig, make_benchmark_simulation,
+                                 measured_weak_scaling)
+
+
+class TestScalingBenchmarkConfig:
+    def test_higher_ppc_than_khi(self):
+        config = ScalingBenchmarkConfig()
+        assert config.particles_per_cell > 9  # "higher particle-per-cell ratio"
+
+    def test_weak_scaled_grid_grows_with_gpus(self):
+        config = ScalingBenchmarkConfig(cells_per_gpu=(8, 8, 4))
+        assert config.grid_config(1).shape == (8, 8, 4)
+        assert config.grid_config(4).shape == (32, 8, 4)
+        assert config.grid_config(4).n_cells == 4 * config.grid_config(1).n_cells
+
+    def test_macro_particle_count(self):
+        config = ScalingBenchmarkConfig(cells_per_gpu=(4, 4, 2), particles_per_cell=10)
+        assert config.macro_particles_per_gpu == 320
+
+    def test_invalid_gpu_count(self):
+        with pytest.raises(ValueError):
+            ScalingBenchmarkConfig().grid_config(0)
+
+
+class TestBenchmarkSimulation:
+    def test_builds_neutral_drifting_plasma(self):
+        config = ScalingBenchmarkConfig(cells_per_gpu=(6, 6, 2), particles_per_cell=4)
+        simulation = make_benchmark_simulation(config)
+        electrons = simulation.get_species("electrons")
+        ions = simulation.get_species("protons")
+        assert electrons.n_macro == ions.n_macro == config.macro_particles_per_gpu
+        total_charge = sum(s.total_charge() for s in simulation.species)
+        assert abs(total_charge) < 1e-9 * abs(electrons.total_charge())
+        assert np.mean(electrons.beta()[:, 0]) == pytest.approx(config.drift_beta, abs=0.01)
+
+    def test_runs_and_conserves_energy(self):
+        config = ScalingBenchmarkConfig(cells_per_gpu=(6, 6, 2), particles_per_cell=4)
+        simulation = make_benchmark_simulation(config)
+        before = simulation.total_energy()
+        simulation.run(5)
+        after = simulation.total_energy()
+        assert after == pytest.approx(before, rel=0.05)
+
+    def test_measured_weak_scaling_counts(self):
+        config = ScalingBenchmarkConfig(cells_per_gpu=(4, 4, 2), particles_per_cell=4)
+        results = measured_weak_scaling(config, gpu_counts=(1, 2), n_steps=1)
+        assert [n for n, _ in results] == [1, 2]
+        for n_gpus, fom in results:
+            assert fom.value > 0

@@ -1,0 +1,233 @@
+"""Integration tests of the full PIC loop and the KHI setup."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.pic.diagnostics import (ChargeConservationMonitor, EnergyHistory,
+                                   momentum_histogram)
+from repro.pic.fom import FigureOfMerit, figure_of_merit
+from repro.pic.grid import GridConfig
+from repro.pic.khi import KHIConfig, growth_rate_estimate, make_khi_simulation
+from repro.pic.particles import ParticleSpecies
+from repro.pic.simulation import PICSimulation, Plugin, SimulationConfig
+from repro.pic.domain import SlabDecomposition
+from repro.pic.supercells import SupercellIndex
+
+
+def tiny_khi(steps_grid=(8, 16, 2), ppc=4, seed=3):
+    return KHIConfig(grid_shape=steps_grid, particles_per_cell=ppc, seed=seed)
+
+
+class TestSimulationLoop:
+    def test_single_particle_free_streaming(self):
+        grid = GridConfig(shape=(8, 8, 8), cell_size=(1e-5,) * 3)
+        electrons = ParticleSpecies.electrons(
+            positions=np.array([[4e-5, 4e-5, 4e-5]]),
+            momenta=np.array([[0.1, 0.0, 0.0]]),
+            weights=np.array([1.0]))
+        sim = PICSimulation(SimulationConfig(grid=grid), species=[electrons])
+        x0 = electrons.positions[0, 0]
+        v = electrons.velocities()[0, 0]
+        sim.step()
+        # single macro-particle with weight 1: self-fields are negligible
+        assert electrons.positions[0, 0] == pytest.approx(x0 + v * sim.config.dt, rel=1e-6)
+
+    def test_plugin_hooks_invoked(self):
+        events = []
+
+        class Probe(Plugin):
+            def on_start(self, simulation):
+                events.append("start")
+
+            def on_step(self, simulation):
+                events.append("step")
+
+            def on_finish(self, simulation):
+                events.append("finish")
+
+        cfg = tiny_khi()
+        sim = make_khi_simulation(cfg)
+        sim.add_plugin(Probe())
+        sim.run(3)
+        assert events == ["start", "step", "step", "step", "finish"]
+
+    def test_run_returns_fom(self):
+        sim = make_khi_simulation(tiny_khi())
+        fom = sim.run(2)
+        assert isinstance(fom, FigureOfMerit)
+        assert fom.value > 0
+        assert fom.particle_updates_per_second > fom.cell_updates_per_second * 0
+
+    def test_invalid_config(self):
+        grid = GridConfig(shape=(4, 4, 4), cell_size=(1e-5,) * 3)
+        with pytest.raises(ValueError):
+            SimulationConfig(grid=grid, dt=1.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(grid=grid, current_deposition="magic")
+
+    def test_get_species(self):
+        sim = make_khi_simulation(tiny_khi())
+        assert sim.get_species("electrons").name == "electrons"
+        with pytest.raises(KeyError):
+            sim.get_species("positrons")
+
+
+class TestKHISetup:
+    def test_counterstreaming_initialisation(self):
+        cfg = tiny_khi()
+        sim = make_khi_simulation(cfg)
+        electrons = sim.get_species("electrons")
+        y = electrons.positions[:, cfg.shear_axis]
+        extent_y = cfg.grid_config.extent[cfg.shear_axis]
+        inner = (y > 0.25 * extent_y) & (y < 0.75 * extent_y)
+        ux = electrons.momenta[:, cfg.flow_axis]
+        assert np.mean(ux[inner]) > 0.1
+        assert np.mean(ux[~inner]) < -0.1
+
+    def test_charge_neutral_start(self):
+        sim = make_khi_simulation(tiny_khi())
+        total_charge = sum(s.total_charge() for s in sim.species)
+        electron_charge = abs(sim.get_species("electrons").total_charge())
+        assert abs(total_charge) < 1e-9 * electron_charge
+
+    def test_particle_count_matches_ppc(self):
+        cfg = tiny_khi(ppc=5)
+        sim = make_khi_simulation(cfg)
+        assert sim.get_species("electrons").n_macro == cfg.n_macro_electrons
+        assert cfg.n_macro_electrons == np.prod(cfg.grid_shape) * 5
+
+    def test_paper_preset(self):
+        cfg = KHIConfig.paper()
+        assert cfg.grid_shape == constants.PAPER_SMALLEST_GRID
+        assert cfg.particles_per_cell == 9
+        assert cfg.beta == pytest.approx(0.2)
+
+    def test_unstable_config_warns(self):
+        cfg = KHIConfig(grid_shape=(4, 8, 2), density=1e28)
+        with pytest.warns(RuntimeWarning):
+            make_khi_simulation(cfg)
+
+    def test_growth_rate_estimate_positive(self):
+        assert growth_rate_estimate(KHIConfig()) > 0
+
+    def test_reproducible_with_seed(self):
+        a = make_khi_simulation(tiny_khi(seed=7)).get_species("electrons")
+        b = make_khi_simulation(tiny_khi(seed=7)).get_species("electrons")
+        np.testing.assert_allclose(a.positions, b.positions)
+        np.testing.assert_allclose(a.momenta, b.momenta)
+
+
+class TestKHIPhysics:
+    def test_energy_approximately_conserved(self):
+        """Total (field + kinetic) energy drifts by less than a few per cent."""
+        cfg = tiny_khi(steps_grid=(8, 16, 2), ppc=4)
+        sim = make_khi_simulation(cfg)
+        history = EnergyHistory()
+        sim.add_plugin(history)
+        sim.run(40)
+        total = history.total()
+        drift = abs(total[-1] - total[0]) / total[0]
+        assert drift < 0.05
+
+    def test_charge_conservation_during_run(self):
+        cfg = tiny_khi(steps_grid=(6, 12, 2), ppc=3)
+        sim = make_khi_simulation(cfg)
+        monitor = ChargeConservationMonitor()
+        sim.add_plugin(monitor)
+        sim.run(5)
+        assert monitor.max_residual() < 1e-8
+
+    @pytest.mark.slow
+    def test_magnetic_field_grows_from_shear_flow(self):
+        """The counter-streaming shear flow drives magnetic field growth
+        (the onset of the KHI / current filamentation), Fig. 1 physics."""
+        cfg = KHIConfig(grid_shape=(12, 24, 2), particles_per_cell=6, seed=11)
+        sim = make_khi_simulation(cfg)
+        history = EnergyHistory(interval=10)
+        sim.add_plugin(history)
+        sim.run(250)
+        magnetic = np.asarray(history.magnetic)
+        early = magnetic[1] if magnetic[0] == 0.0 else magnetic[0]
+        assert magnetic[-1] > 10.0 * early
+
+    def test_momentum_histogram_shows_two_streams(self):
+        sim = make_khi_simulation(tiny_khi())
+        centres, hist = momentum_histogram(sim.get_species("electrons"), axis=0,
+                                           bins=41, momentum_range=(-0.5, 0.5))
+        gamma_beta = 0.2 / np.sqrt(1 - 0.04)
+        peak_positive = centres[np.argmax(hist * (centres > 0))]
+        peak_negative = centres[np.argmax(hist * (centres < 0))]
+        assert peak_positive == pytest.approx(gamma_beta, abs=0.05)
+        assert peak_negative == pytest.approx(-gamma_beta, abs=0.05)
+
+
+class TestFOM:
+    def test_weighted_sum(self):
+        fom = figure_of_merit(n_particles=1000, n_cells=100, n_steps=10, wall_time=2.0)
+        assert fom.particle_updates_per_second == pytest.approx(5000)
+        assert fom.cell_updates_per_second == pytest.approx(500)
+        assert fom.value == pytest.approx(0.9 * 5000 + 0.1 * 500)
+        assert fom.tera_updates_per_second == pytest.approx(fom.value / 1e12)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            figure_of_merit(1, 1, 1, 0.0)
+        with pytest.raises(ValueError):
+            figure_of_merit(1, 1, 0, 1.0)
+
+
+class TestSupercellsAndDomain:
+    def test_supercell_occupancy_counts_all_particles(self, rng):
+        cfg = GridConfig(shape=(16, 16, 8), cell_size=(1e-5,) * 3)
+        index = SupercellIndex(cfg, supercell_shape=(8, 8, 4))
+        positions = rng.uniform(0, 1, size=(500, 3)) * np.asarray(cfg.extent)
+        occupancy = index.occupancy(positions)
+        assert occupancy.shape == (2, 2, 2)
+        assert occupancy.sum() == 500
+
+    def test_group_by_supercell_partitions(self, rng):
+        cfg = GridConfig(shape=(16, 16, 8), cell_size=(1e-5,) * 3)
+        index = SupercellIndex(cfg, supercell_shape=(4, 4, 4))
+        positions = rng.uniform(0, 1, size=(200, 3)) * np.asarray(cfg.extent)
+        groups = index.group_by_supercell(positions)
+        all_indices = np.sort(np.concatenate(list(groups.values())))
+        np.testing.assert_array_equal(all_indices, np.arange(200))
+
+    def test_sort_order_groups_particles(self, rng):
+        cfg = GridConfig(shape=(8, 8, 8), cell_size=(1e-5,) * 3)
+        index = SupercellIndex(cfg, supercell_shape=(4, 4, 4))
+        positions = rng.uniform(0, 1, size=(100, 3)) * np.asarray(cfg.extent)
+        order = index.sort_order(positions)
+        flat_sorted = index.flat_indices(positions)[order]
+        assert np.all(np.diff(flat_sorted) >= 0)
+
+    def test_slab_decomposition_covers_grid(self):
+        cfg = GridConfig(shape=(30, 8, 8), cell_size=(1e-5,) * 3)
+        decomp = SlabDecomposition(cfg, n_ranks=4, axis=0)
+        slabs = decomp.slabs()
+        assert slabs[0].cell_start == 0
+        assert slabs[-1].cell_stop == 30
+        assert sum(s.n_cells_along_axis for s in slabs) == 30
+
+    def test_rank_of_position(self, rng):
+        cfg = GridConfig(shape=(32, 8, 8), cell_size=(1e-5,) * 3)
+        decomp = SlabDecomposition(cfg, n_ranks=4, axis=0)
+        positions = rng.uniform(0, 1, size=(300, 3)) * np.asarray(cfg.extent)
+        ranks = decomp.rank_of_position(positions)
+        assert ranks.min() >= 0 and ranks.max() <= 3
+        # particles in the first quarter of the box belong to rank 0
+        first_quarter = positions[:, 0] < cfg.extent[0] / 4
+        assert np.all(ranks[first_quarter] == 0)
+
+    def test_halo_bytes_positive(self):
+        cfg = GridConfig(shape=(32, 8, 8), cell_size=(1e-5,) * 3)
+        decomp = SlabDecomposition(cfg, n_ranks=4, axis=0)
+        assert decomp.halo_bytes() == 8 * 8 * 6 * 8
+
+    def test_invalid_decomposition(self):
+        cfg = GridConfig(shape=(4, 8, 8), cell_size=(1e-5,) * 3)
+        with pytest.raises(ValueError):
+            SlabDecomposition(cfg, n_ranks=8, axis=0)

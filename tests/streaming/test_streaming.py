@@ -1,0 +1,271 @@
+"""Tests of the SST-like streaming substrate."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.streaming import (Block, EndOfStreamError, FileReaderEngine,
+                             FileWriterEngine, InMemoryDataPlane, ModeledDataPlane,
+                             NoOpConsumer, QueueFullPolicy, SSTBroker,
+                             SSTReaderEngine, SSTWriterEngine, Step, StepStatus,
+                             ThroughputResult, Variable, make_data_plane,
+                             measure_stream_throughput)
+from repro.streaming.broker import StreamClosedError
+from repro.streaming.throughput import remove_outliers
+
+
+class TestVariableAndStep:
+    def test_gather_concatenates_rank_blocks(self, rng):
+        v = Variable("particles/x")
+        v.add_block(Block(rank=1, offset=(10,), data=np.arange(10, 20.0)))
+        v.add_block(Block(rank=0, offset=(0,), data=np.arange(0, 10.0)))
+        np.testing.assert_allclose(v.gather(), np.arange(20.0))
+        assert v.ranks == (0, 1)
+        assert v.nbytes == 20 * 8
+
+    def test_gather_empty_raises(self):
+        with pytest.raises(ValueError):
+            Variable("empty").gather()
+
+    def test_step_bookkeeping(self, rng):
+        step = Step(index=3)
+        v = Variable("a")
+        v.add_block(Block(rank=0, offset=(0,), data=rng.random(5)))
+        step.put(v)
+        assert step.available_variables() == ("a",)
+        assert step.nbytes == 40
+        with pytest.raises(KeyError):
+            step.get("b")
+
+
+class TestBroker:
+    def test_fifo_order(self):
+        broker = SSTBroker("s", queue_limit=4)
+        for i in range(3):
+            broker.put_step(Step(index=i))
+        assert broker.get_step().index == 0
+        assert broker.get_step().index == 1
+        assert broker.queued_steps == 1
+
+    def test_end_of_stream(self):
+        broker = SSTBroker("s")
+        broker.put_step(Step(index=0))
+        broker.close()
+        assert broker.get_step() is not None
+        assert broker.get_step() is None
+
+    def test_put_after_close_raises(self):
+        broker = SSTBroker("s")
+        broker.close()
+        with pytest.raises(StreamClosedError):
+            broker.put_step(Step(index=0))
+
+    def test_discard_oldest_policy(self):
+        broker = SSTBroker("s", queue_limit=1, policy=QueueFullPolicy.DISCARD_OLDEST)
+        broker.put_step(Step(index=0))
+        broker.put_step(Step(index=1))
+        assert broker.steps_discarded == 1
+        assert broker.get_step().index == 1
+
+    def test_raise_policy(self):
+        broker = SSTBroker("s", queue_limit=1, policy=QueueFullPolicy.RAISE)
+        broker.put_step(Step(index=0))
+        with pytest.raises(RuntimeError):
+            broker.put_step(Step(index=1))
+
+    def test_block_policy_times_out(self):
+        broker = SSTBroker("s", queue_limit=1, policy=QueueFullPolicy.BLOCK)
+        broker.put_step(Step(index=0))
+        with pytest.raises(TimeoutError):
+            broker.put_step(Step(index=1), timeout=0.05)
+
+    def test_blocking_producer_consumer_threads(self, rng):
+        """Writer stalls on the bounded queue until the reader drains it."""
+        broker = SSTBroker("s", queue_limit=2)
+        n_steps = 10
+        received = []
+
+        def produce():
+            writer = SSTWriterEngine(broker)
+            for i in range(n_steps):
+                writer.begin_step()
+                writer.put("x", np.full(100, float(i)))
+                writer.end_step()
+            writer.close()
+
+        def consume():
+            reader = SSTReaderEngine(broker)
+            while reader.begin_step() is StepStatus.OK:
+                received.append(float(reader.get("x")[0]))
+                reader.end_step()
+
+        producer = threading.Thread(target=produce)
+        consumer = threading.Thread(target=consume)
+        producer.start()
+        consumer.start()
+        producer.join(timeout=10)
+        consumer.join(timeout=10)
+        assert received == [float(i) for i in range(n_steps)]
+
+    def test_invalid_queue_limit(self):
+        with pytest.raises(ValueError):
+            SSTBroker("s", queue_limit=0)
+
+
+class TestEngines:
+    def test_roundtrip_multi_rank(self, rng):
+        broker = SSTBroker("sim")
+        writer = SSTWriterEngine(broker, n_ranks=2)
+        reader = SSTReaderEngine(broker)
+
+        data0, data1 = rng.random((5, 3)), rng.random((7, 3))
+        writer.begin_step()
+        writer.put("particles/position", data0, rank=0, offset=(0, 0))
+        writer.put("particles/position", data1, rank=1, offset=(5, 0))
+        writer.put_attributes({"time": 1.5})
+        writer.end_step()
+        writer.close()
+
+        assert reader.begin_step() is StepStatus.OK
+        assert reader.available_variables() == ("particles/position",)
+        assert reader.attributes()["time"] == 1.5
+        np.testing.assert_allclose(reader.get("particles/position", rank=1), data1)
+        np.testing.assert_allclose(reader.get("particles/position"),
+                                   np.concatenate([data0, data1], axis=0))
+        reader.end_step()
+        assert reader.begin_step() is StepStatus.END_OF_STREAM
+
+    def test_put_requires_open_step(self):
+        writer = SSTWriterEngine(SSTBroker("s"))
+        with pytest.raises(RuntimeError):
+            writer.put("x", np.zeros(3))
+
+    def test_get_requires_open_step(self):
+        reader = SSTReaderEngine(SSTBroker("s"))
+        with pytest.raises(EndOfStreamError):
+            reader.get("x")
+
+    def test_invalid_rank(self):
+        writer = SSTWriterEngine(SSTBroker("s"), n_ranks=2)
+        writer.begin_step()
+        with pytest.raises(ValueError):
+            writer.put("x", np.zeros(3), rank=5)
+
+    def test_file_engine_roundtrip(self, rng, tmp_path):
+        directory = str(tmp_path / "bp")
+        writer = FileWriterEngine(directory, n_ranks=2)
+        payloads = []
+        for i in range(3):
+            writer.begin_step()
+            data = rng.random((4, 2))
+            payloads.append(data)
+            writer.put("field", data, rank=0)
+            writer.put_attributes({"step": i})
+            writer.end_step()
+        writer.close()
+
+        reader = FileReaderEngine(directory)
+        count = 0
+        while reader.begin_step() is StepStatus.OK:
+            np.testing.assert_allclose(reader.get("field"), payloads[count])
+            assert reader.attributes()["step"] == count
+            reader.end_step()
+            count += 1
+        assert count == 3
+
+
+class TestDataPlanes:
+    def test_inmemory_is_free(self):
+        assert InMemoryDataPlane().transfer_time(10**9) == 0.0
+
+    def test_modeled_time_increases_with_bytes(self):
+        plane = make_data_plane("mpi")
+        assert plane.transfer_time(2 * 10**9, n_nodes=100) > \
+            plane.transfer_time(10**9, n_nodes=100) * 1.2
+
+    def test_contention_reduces_bandwidth(self):
+        plane = make_data_plane("mpi")
+        assert plane.effective_bandwidth(9126) < plane.effective_bandwidth(4096)
+
+    def test_libfabric_all_at_once_fails_at_full_scale(self):
+        plane = make_data_plane("libfabric")
+        assert plane.supports(4096, "all_at_once")
+        assert not plane.supports(9126, "all_at_once")
+        with pytest.raises(RuntimeError):
+            plane.effective_bandwidth(9126, "all_at_once")
+
+    def test_calibration_matches_paper_per_node_ranges(self):
+        """Per-node throughputs fall in the ranges reported in Section IV-B."""
+        libfabric = make_data_plane("libfabric")
+        mpi = make_data_plane("mpi")
+        gb = 1e9
+        assert 3.5 <= libfabric.effective_bandwidth(4096, "all_at_once") / gb <= 4.7
+        assert 1.9 <= libfabric.effective_bandwidth(9126, "batched") / gb <= 2.6
+        assert 2.6 <= mpi.effective_bandwidth(4096) / gb <= 3.7
+        assert 2.4 <= mpi.effective_bandwidth(9126) / gb <= 3.3
+
+    def test_bandwidth_capped_at_nic_limit(self):
+        plane = ModeledDataPlane(base_bandwidth=1e12, latency=0.0, jitter=0.0)
+        assert plane.effective_bandwidth(1) == pytest.approx(25e9)
+
+    def test_unknown_plane(self):
+        with pytest.raises(ValueError):
+            make_data_plane("infiniband-magic")
+
+
+class TestNoOpConsumer:
+    def test_drains_stream_and_counts_bytes(self, rng):
+        broker = SSTBroker("sim", queue_limit=10)
+        writer = SSTWriterEngine(broker)
+        for i in range(4):
+            writer.begin_step()
+            writer.put("data", rng.random(1000))
+            writer.end_step()
+        writer.close()
+        consumer = NoOpConsumer(reader=SSTReaderEngine(broker))
+        consumed = consumer.run()
+        assert consumed == 4
+        assert consumer.total_bytes == 4 * 8000
+        assert consumer.mean_step_time >= 0.0
+
+    def test_max_steps_limit(self, rng):
+        broker = SSTBroker("sim", queue_limit=10)
+        writer = SSTWriterEngine(broker)
+        for _ in range(5):
+            writer.begin_step()
+            writer.put("data", rng.random(10))
+            writer.end_step()
+        writer.close()
+        consumer = NoOpConsumer(reader=SSTReaderEngine(broker))
+        assert consumer.run(max_steps=2) == 2
+
+
+class TestThroughput:
+    def test_result_properties(self):
+        result = measure_stream_throughput([2.0, 2.5, 4.0], n_nodes=100,
+                                           bytes_per_node=5.86e9, data_plane="mpi")
+        assert result.global_bytes == pytest.approx(586e9)
+        assert result.median_throughput == pytest.approx(586e9 / 2.5)
+        assert result.max_throughput == pytest.approx(586e9 / 2.0)
+        assert result.per_node_throughput.shape == (3,)
+        assert result.terabytes_per_second() == pytest.approx(586e9 / 2.5 / 1e12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_stream_throughput([], 1, 1.0)
+        with pytest.raises(ValueError):
+            measure_stream_throughput([0.0], 1, 1.0)
+        with pytest.raises(ValueError):
+            measure_stream_throughput([1.0], 0, 1.0)
+
+    def test_remove_outliers(self):
+        values = [1.0] * 50 + [1000.0]
+        cleaned = remove_outliers(values, n_sigma=4.0)
+        assert 1000.0 not in cleaned
+        assert len(cleaned) == 50
+
+    def test_remove_outliers_keeps_constant_series(self):
+        assert remove_outliers([2.0, 2.0, 2.0]) == [2.0, 2.0, 2.0]
