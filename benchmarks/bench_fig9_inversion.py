@@ -18,16 +18,16 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import tiny_workflow_config
-from repro.core import ArtificialScientist
+from repro.workflow import WorkflowBuilder
 
 
 def test_fig9_inversion_report(benchmark):
     config = tiny_workflow_config(n_rep=2, seed=17)
 
     def run_and_evaluate():
-        scientist = ArtificialScientist(config)
-        scientist.run(n_steps=6, keep_for_evaluation=2)
-        return scientist.evaluate(n_posterior_samples=2)
+        session = WorkflowBuilder().config(config).driver("serial").build()
+        session.run(6, keep_for_evaluation=2).raise_if_failed()
+        return session.evaluate(n_posterior_samples=2)
 
     report = benchmark.pedantic(run_and_evaluate, iterations=1, rounds=1)
 

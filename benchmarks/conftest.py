@@ -8,29 +8,22 @@ produces both timing and the regenerated rows/series.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
-from repro.core import MLConfig, StreamingConfig, WorkflowConfig
-from repro.models.config import ModelConfig
-from repro.pic.khi import KHIConfig
+from repro.core import WorkflowConfig
+from repro.workflow import get_preset
 
 
 def tiny_workflow_config(n_rep: int = 2, seed: int = 11) -> WorkflowConfig:
-    """A workflow config small enough to run inside a benchmark round."""
-    model = ModelConfig(n_input_points=48, encoder_channels=(16, 32),
-                        encoder_head_hidden=32, latent_dim=32,
-                        decoder_grid=(2, 2, 2), decoder_channels=(8, 6),
-                        spectrum_dim=16, inn_blocks=2, inn_hidden=(32,))
-    return WorkflowConfig(
-        khi=KHIConfig(grid_shape=(8, 16, 2), particles_per_cell=4, seed=seed),
-        ml=MLConfig(model=model, n_rep=n_rep, base_learning_rate=1e-3),
-        streaming=StreamingConfig(queue_limit=2),
-        region_counts=(1, 4, 1),
-        n_detector_directions=2,
-        n_detector_frequencies=8,
-        seed=seed,
-    )
+    """The ``bench-tiny`` preset, re-seeded for the calling benchmark."""
+    config = get_preset("bench-tiny")
+    return replace(config,
+                   khi=replace(config.khi, seed=seed),
+                   ml=replace(config.ml, n_rep=n_rep),
+                   seed=seed)
 
 
 @pytest.fixture

@@ -25,9 +25,10 @@ import os
 import tempfile
 import time
 
-from repro.core import (ArtificialScientist, MLConfig, RegionPartition,
-                        StreamingConfig, StreamingProducerPlugin, WorkflowConfig)
+from repro.core import (MLConfig, RegionPartition, StreamingConfig,
+                        StreamingProducerPlugin, WorkflowConfig)
 from repro.core.mlapp import MLApp
+from repro.workflow import WorkflowBuilder
 from repro.models.config import ModelConfig
 from repro.openpmd import Access, JSONBackend, Series
 from repro.perfmodel.machines import FRONTIER
@@ -77,8 +78,8 @@ def run_file_based(config: WorkflowConfig, n_steps: int, directory: str) -> dict
 
 
 def run_in_transit(config: WorkflowConfig, n_steps: int) -> dict:
-    scientist = ArtificialScientist(config)
-    report = scientist.run(n_steps)
+    session = WorkflowBuilder().config(config).driver("serial").build()
+    report = session.run(n_steps).raise_if_failed().report
     return {"total_s": report.wall_time, "disk_bytes": 0,
             "training_iterations": report.training_iterations,
             "streamed_bytes": report.bytes_streamed}

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import sys
 
-from repro.core import ArtificialScientist, MLConfig, StreamingConfig, WorkflowConfig
+from repro.core import MLConfig, StreamingConfig, WorkflowConfig
 from repro.models.config import ModelConfig
 from repro.pic.khi import KHIConfig
+from repro.workflow import WorkflowBuilder
 
 
 def build_config() -> WorkflowConfig:
@@ -44,16 +45,16 @@ def build_config() -> WorkflowConfig:
 
 def main() -> None:
     n_steps = int(sys.argv[1]) if len(sys.argv) > 1 else 12
-    scientist = ArtificialScientist(build_config())
+    session = WorkflowBuilder().config(build_config()).driver("serial").build()
     print(f"running {n_steps} coupled steps (simulation + in-transit training) ...")
-    report = scientist.run(n_steps=n_steps, keep_for_evaluation=2)
+    report = session.run(n_steps, keep_for_evaluation=2).raise_if_failed().report
     print(f"streamed {report.samples_streamed} samples "
           f"({report.streamed_megabytes:.1f} MB), "
           f"{report.training_iterations} training iterations, "
           f"final loss {report.final_losses.get('total', float('nan')):.3f}")
 
     print("\nevaluating the inversion (radiation -> momentum distribution) ...")
-    evaluation = scientist.evaluate(n_posterior_samples=4)
+    evaluation = session.evaluate(n_posterior_samples=4)
 
     header = (f"{'region':>12} {'n':>4} {'true peak':>10} {'pred peak':>10} "
               f"{'peak err':>9} {'hist L1':>8} {'2 pops (true/pred)':>20}")

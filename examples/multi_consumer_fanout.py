@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Fan-out: two consumer applications attached to one simulation stream.
+
+The paper's loose coupling means the producer never knows who reads the
+stream — any number of consumer applications can attach to the
+openPMD-over-SST stream independently.  This example demonstrates that with
+the :mod:`repro.workflow` API:
+
+* the **MLapp** trains the VAE+INN in transit (the primary consumer),
+* a **histogram monitor** watches the same stream and accumulates momentum
+  histograms and mean spectra — a live diagnostic that costs the producer
+  nothing and shares no code with the trainer.
+
+Both consumers get every step through their own bounded queue; the
+pipelined driver overlaps the simulation with both of them while limiting
+how far the simulation may run ahead of the slowest consumer.
+
+Run with::
+
+    python examples/multi_consumer_fanout.py [n_steps]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.workflow import WorkflowBuilder
+
+
+def main() -> None:
+    n_steps = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    session = (
+        WorkflowBuilder()
+        .preset("cli-small")
+        .driver("pipelined", max_in_flight=3)
+        .add_consumer("monitor", kind="histogram-monitor")
+        .build()
+    )
+
+    print(f"running {n_steps} steps with consumers: "
+          f"{', '.join(session.consumers)} ...")
+    result = session.run(n_steps)
+    result.raise_if_failed()
+
+    print("\n--- workflow report (driver: pipelined) ------------------------")
+    for key, value in result.report.summary().items():
+        print(f"{key:>24}: {value}")
+    print(f"{'max queue depth':>24}: {result.max_queue_depth}")
+    print(f"{'queue depth timeline':>24}: {result.queue_depth_samples}")
+
+    monitor = result.consumer_summaries["monitor"]
+    print("\n--- histogram monitor (second consumer) ------------------------")
+    print(f"iterations consumed     : {monitor['iterations_consumed']}")
+    print(f"samples consumed        : {monitor['samples_consumed']}")
+    print(f"momentum histogram      : {monitor['momentum_histogram']}")
+    print(f"mean spectrum peak      : {monitor['mean_spectrum_peak']:.4f}")
+
+    mlapp = result.consumer_summaries["mlapp"]
+    print("\n--- MLapp (primary consumer) -----------------------------------")
+    print(f"training iterations     : {mlapp['training_iterations']}")
+    print(f"final total loss        : {mlapp['final_losses'].get('total'):.3f}")
+
+    print("\nBoth consumers saw every streamed iteration without the producer "
+          "or each other knowing: the stream is the only coupling.")
+
+
+if __name__ == "__main__":
+    main()

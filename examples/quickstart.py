@@ -6,6 +6,11 @@ streaming per-sub-volume particle point clouds and radiation spectra through
 an in-memory (SST-style) stream into the MLapp, which trains the VAE+INN in
 transit with experience replay — and runs it for a handful of steps.
 
+The assembly uses the composable :mod:`repro.workflow` API: a named preset
+supplies the configuration, the builder wires the stream, and an execution
+driver (serial here; try ``"threaded"`` or ``"pipelined"``) owns the run
+schedule.  Lifecycle hooks observe the run without touching any component.
+
 Run with::
 
     python examples/quickstart.py
@@ -13,37 +18,31 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core import ArtificialScientist, MLConfig, StreamingConfig, WorkflowConfig
-from repro.models.config import ModelConfig
-from repro.pic.khi import KHIConfig
+from repro.workflow import WorkflowBuilder
 
 
 def main() -> None:
-    config = WorkflowConfig(
-        khi=KHIConfig(grid_shape=(8, 16, 2), particles_per_cell=4, seed=1),
-        ml=MLConfig(
-            model=ModelConfig(n_input_points=64, encoder_channels=(16, 32),
-                              encoder_head_hidden=32, latent_dim=32,
-                              decoder_grid=(2, 2, 2), decoder_channels=(8, 6),
-                              spectrum_dim=16, inn_blocks=2, inn_hidden=(32,)),
-            n_rep=2, base_learning_rate=1e-3),
-        streaming=StreamingConfig(queue_limit=2),
-        region_counts=(1, 4, 1),
-        n_detector_directions=2,
-        n_detector_frequencies=8,
-        seed=42,
+    session = (
+        WorkflowBuilder()
+        .preset("laptop")
+        .driver("serial")
+        .on_step(lambda _session, index: print(f"  simulation step {index} done"))
+        .on_iteration_consumed(
+            lambda _session, consumer, index, n:
+            print(f"  {consumer} trained on iteration {index} ({n} samples)"))
+        .build()
     )
 
-    scientist = ArtificialScientist(config)
     print("running the coupled simulation + in-transit training ...")
-    report = scientist.run(n_steps=5)
+    result = session.run(5)
+    result.raise_if_failed()
 
     print("\n--- workflow report -------------------------------------------")
-    for key, value in report.summary().items():
+    for key, value in result.report.summary().items():
         print(f"{key:>24}: {value}")
 
     print("\n--- loss terms (mean over the last iterations) -----------------")
-    for name, value in scientist.mlapp.loss_summary().items():
+    for name, value in session.mlapp.loss_summary().items():
         print(f"{name:>24}: {value:.4f}")
 
     print("\nNo simulation data was written to disk: everything stayed in memory "

@@ -32,6 +32,7 @@ _SUBPACKAGES = (
     "radiation",
     "streaming",
     "utils",
+    "workflow",
 )
 
 __all__ = list(_SUBPACKAGES) + ["__version__"]
@@ -51,4 +52,4 @@ def __dir__():
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro import (analysis, constants, continual, core, mlcore, models,  # noqa: F401
-                       openpmd, perfmodel, pic, radiation, streaming, utils)
+                       openpmd, perfmodel, pic, radiation, streaming, utils, workflow)

@@ -3,12 +3,19 @@
 ``python -m repro.cli <command>`` (or the ``artificial-scientist`` console
 script) exposes the main entry points of the reproduction:
 
-* ``run``              — run the coupled in-transit workflow,
+* ``run``              — run the coupled in-transit workflow
+  (``--preset``/``--driver``/``--config``/``--monitor`` select the
+  workflow configuration, execution strategy and extra consumers),
+* ``presets``          — list the named workflow presets and drivers,
 * ``fom-scan``         — regenerate the Fig. 4 FOM weak-scaling table,
 * ``streaming-study``  — regenerate the Fig. 6 streaming-throughput table,
 * ``ddp-scan``         — regenerate the Fig. 8 training weak-scaling table,
 * ``khi-info``         — print the Section IV-A KHI setup constants,
 * ``placement``        — compare intra- vs inter-node placement (Fig. 3c).
+
+``run`` is built on :mod:`repro.workflow`: it assembles a
+``WorkflowSession`` from a preset (or a JSON config file) and drives it
+with the chosen execution driver.
 """
 
 from __future__ import annotations
@@ -29,18 +36,33 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run the coupled in-transit workflow")
     run.add_argument("--steps", type=int, default=5, help="simulation steps to run")
-    run.add_argument("--n-rep", type=int, default=2,
-                     help="training iterations per streamed step")
-    run.add_argument("--grid", type=int, nargs=3, default=(8, 16, 2),
-                     metavar=("NX", "NY", "NZ"), help="KHI grid cells")
-    run.add_argument("--particles-per-cell", type=int, default=4)
-    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--preset", type=str, default="cli-small",
+                     help="named workflow preset (see the 'presets' command)")
+    run.add_argument("--config", type=str, default=None,
+                     help="JSON WorkflowConfig file (overrides --preset)")
+    run.add_argument("--driver", type=str, default=None,
+                     help="execution driver: serial (default), threaded or "
+                          "pipelined")
+    run.add_argument("--n-rep", type=int, default=None,
+                     help="override the preset's training iterations per "
+                          "streamed step")
+    run.add_argument("--grid", type=int, nargs=3, default=None,
+                     metavar=("NX", "NY", "NZ"),
+                     help="override the preset's KHI grid cells")
+    run.add_argument("--particles-per-cell", type=int, default=None)
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the preset's seed")
     run.add_argument("--threaded", action="store_true",
-                     help="run producer and consumer concurrently")
+                     help="deprecated alias for --driver threaded")
+    run.add_argument("--monitor", action="store_true",
+                     help="attach the histogram-monitor consumer to the "
+                          "stream alongside the MLapp")
     run.add_argument("--evaluate", action="store_true",
                      help="print the Fig. 9-style inversion report after the run")
     run.add_argument("--checkpoint", type=str, default=None,
                      help="directory to write a model/buffer checkpoint to")
+
+    sub.add_parser("presets", help="list the workflow presets and drivers")
 
     sub.add_parser("fom-scan", help="Fig. 4: FOM weak scaling (Frontier vs Summit)")
 
@@ -59,40 +81,76 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 # --------------------------------------------------------------------------- #
-def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.core import ArtificialScientist, MLConfig, StreamingConfig, WorkflowConfig
-    from repro.core.threaded import ThreadedWorkflowRunner
-    from repro.models.config import ModelConfig
-    from repro.pic.khi import KHIConfig
+def _run_config(args: argparse.Namespace):
+    """Resolve the run command's workflow configuration from its flags."""
+    from dataclasses import replace
 
-    model = ModelConfig(n_input_points=64, encoder_channels=(16, 32),
-                        encoder_head_hidden=32, latent_dim=32,
-                        decoder_grid=(2, 2, 2), decoder_channels=(8, 6),
-                        spectrum_dim=16, inn_blocks=2, inn_hidden=(32,))
-    config = WorkflowConfig(
-        khi=KHIConfig(grid_shape=tuple(args.grid),
-                      particles_per_cell=args.particles_per_cell, seed=args.seed),
-        ml=MLConfig(model=model, n_rep=args.n_rep, base_learning_rate=1e-3),
-        streaming=StreamingConfig(queue_limit=2),
-        region_counts=(1, 4, 1), n_detector_directions=2, n_detector_frequencies=8,
-        seed=args.seed)
-    scientist = ArtificialScientist(config)
+    from repro.core.config import WorkflowConfig
+    from repro.workflow import get_preset
 
-    if args.threaded:
-        result = ThreadedWorkflowRunner(scientist).run(args.steps)
-        if result.producer_exception is not None:
-            print(f"producer failed: {result.producer_exception}", file=sys.stderr)
-            return 1
-        report = result.report
-        print(f"max stream queue depth: {result.max_queue_depth}")
+    if args.config:
+        config = WorkflowConfig.from_file(args.config)
     else:
-        report = scientist.run(args.steps)
+        config = get_preset(args.preset)
+    khi = config.khi
+    if args.grid is not None:
+        khi = replace(khi, grid_shape=tuple(args.grid))
+    if args.particles_per_cell is not None:
+        khi = replace(khi, particles_per_cell=args.particles_per_cell)
+    if args.seed is not None:
+        khi = replace(khi, seed=args.seed)
+    ml = config.ml
+    if args.n_rep is not None:
+        ml = replace(ml, n_rep=args.n_rep)
+    return replace(config, khi=khi, ml=ml,
+                   seed=config.seed if args.seed is None else args.seed)
 
-    for key, value in report.summary().items():
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.workflow import WorkflowBuilder
+
+    if args.steps < 1:
+        print("error: --steps must be >= 1", file=sys.stderr)
+        return 2
+    if args.threaded and args.driver not in (None, "threaded"):
+        print(f"error: --threaded conflicts with --driver {args.driver}; "
+              f"--threaded is a deprecated alias for --driver threaded",
+              file=sys.stderr)
+        return 2
+    driver_name = "threaded" if args.threaded else (args.driver or "serial")
+    try:
+        builder = WorkflowBuilder().config(_run_config(args)).driver(driver_name)
+    except (ValueError, OSError) as error:
+        # typo'd preset/driver names and broken config files deserve a clean
+        # one-line message, not a traceback
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.monitor:
+        builder.add_consumer("monitor", kind="histogram-monitor")
+    session = builder.build()
+
+    result = session.run(args.steps)
+    if result.producer_exception is not None:
+        print(f"producer failed: {result.producer_exception}", file=sys.stderr)
+    for name, error in result.consumer_exceptions.items():
+        print(f"consumer {name!r} failed: {error}", file=sys.stderr)
+    if not result.ok:
+        return 1
+
+    print(f"driver: {result.driver}")
+    if result.driver != "serial":
+        print(f"max stream queue depth: {result.max_queue_depth}")
+    for key, value in result.report.summary().items():
         print(f"{key:>24}: {value}")
 
+    if args.monitor:
+        monitor = result.consumer_summaries["monitor"]
+        print(f"\nmonitor consumer: {monitor['iterations_consumed']} iterations, "
+              f"{monitor['samples_consumed']} samples")
+        print(f"momentum histogram    : {monitor['momentum_histogram']}")
+
     if args.evaluate:
-        evaluation = scientist.evaluate()
+        evaluation = session.evaluate()
         print("\nregion, true peak, predicted peak, histogram L1")
         for row in evaluation.rows():
             print(f"{row['region']:>12}, {row['true_peak']:+.3f}, "
@@ -100,10 +158,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.checkpoint:
         from repro.core.checkpoint import save_checkpoint
-        info = save_checkpoint(args.checkpoint, scientist.model,
-                               scientist.mlapp.trainer, step=args.steps)
+        info = save_checkpoint(args.checkpoint, session.model,
+                               session.mlapp.trainer, step=args.steps)
         print(f"\ncheckpoint written to {info.directory} "
               f"({info.training_iterations} training iterations)")
+    return 0
+
+
+def _cmd_presets(_: argparse.Namespace) -> int:
+    from repro.workflow import available_consumers, available_drivers, preset_rows
+
+    print(f"{'preset':>12} {'grid':>12} {'ppc':>4} {'points':>7} "
+          f"{'latent':>7} {'n_rep':>6} {'seed':>6}")
+    for row in preset_rows():
+        print(f"{row['name']:>12} {row['grid']:>12} {row['particles_per_cell']:>4} "
+              f"{row['n_input_points']:>7} {row['latent_dim']:>7} "
+              f"{row['n_rep']:>6} {row['seed']:>6}")
+    print(f"\ndrivers  : {', '.join(available_drivers())}")
+    print(f"consumers: {', '.join(available_consumers())}")
     return 0
 
 
@@ -193,6 +265,7 @@ def _cmd_placement(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "presets": _cmd_presets,
     "fom-scan": _cmd_fom_scan,
     "streaming-study": _cmd_streaming_study,
     "ddp-scan": _cmd_ddp_scan,

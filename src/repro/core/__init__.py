@@ -12,7 +12,10 @@ substrates:
   feeds the experience-replay buffer and trains the VAE+INN in transit,
 * :class:`repro.core.artificial_scientist.ArtificialScientist` wires both
   applications together (intra-node loose coupling), drives the run and
-  collects the workflow report,
+  collects the workflow report — since the ``repro.workflow`` redesign it
+  is a thin deprecated facade over
+  :class:`repro.workflow.WorkflowSession`; prefer the builder API for new
+  code (multiple consumers, pluggable drivers, presets),
 * :mod:`repro.core.placement` models the resource assignment choices of
   Fig. 3(c) (intra- vs inter-node placement, GCD split).
 """

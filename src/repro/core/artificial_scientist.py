@@ -1,175 +1,79 @@
 """The Artificial Scientist: the coupled producer + consumer workflow.
 
-The orchestration follows Section III-B:
+.. deprecated::
+    ``ArtificialScientist`` is now a thin facade over the composable
+    :class:`repro.workflow.WorkflowSession` API and is kept for backwards
+    compatibility.  New code should build sessions explicitly::
 
-* start the KHI PIC simulation,
-* schedule the MLapp alongside it (intra-node placement by default),
-* at each simulation time step stream particle/spectral data to the MLapp,
-  transform it into the model's input encoding and train concurrently,
-* repeat for enough steps to cover the relevant stages of the instability.
+        from repro.workflow import WorkflowBuilder
 
-Both applications live in one process here; the loose coupling survives
-intact because they only communicate through the openPMD-over-SST stream —
-the producer never calls into the MLapp and vice versa.  ``run`` alternates
-one simulation step with draining the stream, which is exactly the
-steady-state behaviour of the co-scheduled real system when training keeps
-up with data production (and the bounded queue stalls the simulation when
-it does not).
+        session = WorkflowBuilder().preset("laptop").driver("serial").build()
+        result = session.run(5)        # a RunResult; result.report is the
+                                       # WorkflowReport this class returns
+
+    The facade wires exactly what the seed class wired — one KHI PIC
+    producer, one in-memory SST stream, one MLapp consumer, the serial
+    driver — with identical RNG derivations, so existing scripts reproduce
+    seed results bit-for-bit.
+
+The orchestration still follows Section III-B: start the KHI PIC
+simulation, schedule the MLapp alongside it, stream particle/spectral data
+each step and train concurrently.  Producer and consumer only communicate
+through the openPMD-over-SST stream, so the loose coupling survives intact.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Optional
 
-import numpy as np
-
-from repro.analysis.evaluation import InversionReport, evaluate_inversion
+from repro.analysis.evaluation import InversionReport
 from repro.core.config import WorkflowConfig
-from repro.core.mlapp import MLApp
-from repro.core.placement import PlacementMode, ResourcePlan
-from repro.core.producer import StreamingProducerPlugin
-from repro.core.transforms import RegionPartition
-from repro.openpmd.backends import StreamingBackend
-from repro.openpmd.series import Access, Series
-from repro.pic.khi import make_khi_simulation
-from repro.pic.simulation import PICSimulation
-from repro.radiation.detector import RadiationDetector
-from repro.streaming.broker import QueueFullPolicy, SSTBroker
-from repro.streaming.dataplane import make_data_plane
-from repro.streaming.engine import SSTReaderEngine, SSTWriterEngine
-from repro.utils.rng import derive_seed, seeded_rng
-
-
-@dataclass
-class WorkflowReport:
-    """Outcome of one coupled run."""
-
-    n_steps: int
-    iterations_streamed: int
-    samples_streamed: int
-    training_iterations: int
-    bytes_streamed: int
-    wall_time: float
-    simulation_time: float
-    training_time: float
-    final_losses: Dict[str, float]
-    loss_history_total: List[float] = field(default_factory=list)
-
-    @property
-    def streamed_megabytes(self) -> float:
-        return self.bytes_streamed / 1e6
-
-    def summary(self) -> Dict[str, object]:
-        return {
-            "steps": self.n_steps,
-            "iterations_streamed": self.iterations_streamed,
-            "samples_streamed": self.samples_streamed,
-            "training_iterations": self.training_iterations,
-            "streamed_megabytes": round(self.streamed_megabytes, 2),
-            "wall_time_s": round(self.wall_time, 3),
-            "simulation_time_s": round(self.simulation_time, 3),
-            "training_time_s": round(self.training_time, 3),
-            "final_total_loss": self.final_losses.get("total"),
-        }
+from repro.core.placement import ResourcePlan
+from repro.workflow.report import WorkflowReport  # noqa: F401  (re-export)
 
 
 class ArtificialScientist:
-    """Build and drive the coupled in-transit learning workflow."""
+    """Build and drive the coupled in-transit learning workflow.
+
+    Deprecated facade over :class:`repro.workflow.WorkflowSession`; see the
+    module docstring for the migration path.
+    """
 
     def __init__(self, config: Optional[WorkflowConfig] = None,
                  placement: Optional[ResourcePlan] = None) -> None:
-        self.config = config or WorkflowConfig()
-        self.placement = placement or ResourcePlan(n_nodes=1,
-                                                   mode=PlacementMode.INTRA_NODE)
-        cfg = self.config
-        rng = seeded_rng(cfg.seed)
+        from repro.workflow.builder import WorkflowSession
+        from repro.workflow.drivers import SerialDriver
 
-        # --- producer: PIC simulation + streaming output plugin ------------- #
-        self.simulation: PICSimulation = make_khi_simulation(
-            cfg.khi, rng=seeded_rng(derive_seed(cfg.seed, 1)))
-        self.detector = RadiationDetector.for_khi(
-            density=cfg.khi.density,
-            n_directions=cfg.n_detector_directions,
-            n_frequencies=cfg.n_detector_frequencies)
-        self.partition = RegionPartition(cfg.khi.grid_config, cfg.region_counts)
-
-        self.broker = SSTBroker(cfg.streaming.stream_name,
-                                queue_limit=cfg.streaming.queue_limit,
-                                policy=QueueFullPolicy.BLOCK)
-        data_plane = make_data_plane(cfg.streaming.data_plane,
-                                     rng=seeded_rng(derive_seed(cfg.seed, 2)))
-        writer_engine = SSTWriterEngine(self.broker, data_plane=data_plane)
-        self.writer_series = Series(cfg.streaming.stream_name, Access.CREATE,
-                                    StreamingBackend(writer=writer_engine))
-        reduction = cfg.streaming.build_reduction_pipeline(
-            rng=seeded_rng(derive_seed(cfg.seed, 6)))
-        self.producer = StreamingProducerPlugin(
-            self.writer_series, self.detector, self.partition,
-            n_points=cfg.n_points_per_sample,
-            sample_interval=cfg.streaming.sample_interval,
-            reduction=reduction,
-            rng=seeded_rng(derive_seed(cfg.seed, 3)))
-        self.simulation.add_plugin(self.producer)
-
-        # --- consumer: the MLapp -------------------------------------------- #
-        reader_engine = SSTReaderEngine(self.broker, data_plane=data_plane)
-        self.reader_series = Series(cfg.streaming.stream_name, Access.READ_LINEAR,
-                                    StreamingBackend(reader=reader_engine))
-        self.mlapp = MLApp(self.reader_series, cfg.ml,
-                           rng=seeded_rng(derive_seed(cfg.seed, 4)))
+        self.session = WorkflowSession(config=config, placement=placement,
+                                       driver=SerialDriver())
+        self.config = self.session.config
+        self.placement = self.session.placement
+        # seed-compatible attribute surface (scripts poke at all of these)
+        self.simulation = self.session.simulation
+        self.detector = self.session.detector
+        self.partition = self.session.partition
+        self.broker = self.session.broker
+        self.writer_series = self.session.writer_series
+        self.reader_series = self.session.reader_series
+        self.producer = self.session.producer
+        self.mlapp = self.session.mlapp
 
     # ------------------------------------------------------------------ #
     def run(self, n_steps: int, keep_for_evaluation: int = 1) -> WorkflowReport:
-        """Run ``n_steps`` of the coupled workflow and return its report."""
-        if n_steps < 1:
-            raise ValueError("n_steps must be >= 1")
-        start = time.perf_counter()
-        simulation_time = 0.0
-        training_time = 0.0
-        for _ in range(n_steps):
-            t0 = time.perf_counter()
-            self.simulation.step()
-            simulation_time += time.perf_counter() - t0
+        """Run ``n_steps`` of the coupled workflow and return its report.
 
-            queued = self.broker.queued_steps
-            if queued:
-                t0 = time.perf_counter()
-                self.mlapp.consume(max_iterations=queued,
-                                   keep_for_evaluation=keep_for_evaluation)
-                training_time += time.perf_counter() - t0
-        # flush: close the stream and drain what is left
-        self.writer_series.close()
-        t0 = time.perf_counter()
-        self.mlapp.consume(keep_for_evaluation=keep_for_evaluation)
-        training_time += time.perf_counter() - t0
-        wall = time.perf_counter() - start
-
-        return WorkflowReport(
-            n_steps=n_steps,
-            iterations_streamed=self.producer.iterations_streamed,
-            samples_streamed=self.producer.samples_streamed,
-            training_iterations=len(self.mlapp.history),
-            bytes_streamed=self.producer.bytes_streamed,
-            wall_time=wall,
-            simulation_time=simulation_time,
-            training_time=training_time,
-            final_losses=self.mlapp.loss_summary(),
-            loss_history_total=list(self.mlapp.history.series("total"))
-            if len(self.mlapp.history) else [],
-        )
+        Raises ``RuntimeError("session already consumed")`` on a second
+        call: the stream cannot be rewound, so a fresh instance is needed.
+        """
+        result = self.session.run(n_steps, keep_for_evaluation=keep_for_evaluation)
+        result.raise_if_failed()
+        return result.report
 
     # ------------------------------------------------------------------ #
     def evaluate(self, n_posterior_samples: int = 4) -> InversionReport:
         """Evaluate the trained model on the held-out streamed samples (Fig. 9)."""
-        if not self.mlapp.evaluation_samples:
-            raise RuntimeError("no evaluation samples were kept; run() with "
-                               "keep_for_evaluation >= 1 first")
-        return evaluate_inversion(self.mlapp.model, self.mlapp.evaluation_samples,
-                                  n_posterior_samples=n_posterior_samples,
-                                  rng=seeded_rng(derive_seed(self.config.seed, 5)))
+        return self.session.evaluate(n_posterior_samples=n_posterior_samples)
 
     @property
     def model(self):
-        return self.mlapp.model
+        return self.session.model

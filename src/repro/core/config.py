@@ -1,12 +1,46 @@
-"""Configuration of the end-to-end workflow."""
+"""Configuration of the end-to-end workflow.
+
+``WorkflowConfig`` round-trips losslessly through plain dictionaries and
+JSON files (``to_dict``/``from_dict``/``to_file``/``from_file``) so that
+presets, the CLI ``--config`` flag and experiment manifests all share one
+serialisation.  Tuple-typed fields are stored as lists (JSON has no tuples)
+and coerced back on load; unknown keys raise with the valid choices listed.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+import json
+import typing
+from dataclasses import dataclass, field, fields
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.models.config import ModelConfig
 from repro.pic.khi import KHIConfig
+
+
+def _dataclass_to_dict(obj) -> Dict[str, object]:
+    """One dataclass level to a JSON-able dict (tuples become lists)."""
+    out: Dict[str, object] = {}
+    for spec in fields(obj):
+        value = getattr(obj, spec.name)
+        out[spec.name] = list(value) if isinstance(value, tuple) else value
+    return out
+
+
+def _dataclass_from_dict(cls, data: Mapping[str, object]):
+    """Rebuild one dataclass level, coercing lists back to tuples."""
+    hints = typing.get_type_hints(cls)
+    valid = {spec.name for spec in fields(cls) if spec.init}
+    unknown = sorted(set(data) - valid)
+    if unknown:
+        raise ValueError(f"unknown {cls.__name__} keys {unknown}; valid keys: "
+                         f"{', '.join(sorted(valid))}")
+    kwargs = {}
+    for key, value in data.items():
+        if typing.get_origin(hints.get(key)) is tuple and value is not None:
+            value = tuple(value)
+        kwargs[key] = value
+    return cls(**kwargs)
 
 
 @dataclass
@@ -94,3 +128,62 @@ class WorkflowConfig:
     def n_regions(self) -> int:
         rx, ry, rz = self.region_counts
         return rx * ry * rz
+
+    # -- serialisation ------------------------------------------------------- #
+    def to_dict(self) -> Dict[str, object]:
+        """A plain, JSON-able dictionary; inverse of :meth:`from_dict`."""
+        ml = _dataclass_to_dict(self.ml)
+        ml["model"] = _dataclass_to_dict(self.ml.model)
+        return {
+            "khi": _dataclass_to_dict(self.khi),
+            "ml": ml,
+            "streaming": _dataclass_to_dict(self.streaming),
+            "region_counts": list(self.region_counts),
+            "n_detector_directions": self.n_detector_directions,
+            "n_detector_frequencies": self.n_detector_frequencies,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "WorkflowConfig":
+        """Rebuild a config from :meth:`to_dict` output (or hand-written JSON).
+
+        Sections and keys are all optional — missing ones keep their
+        defaults — but unknown keys raise a ``ValueError`` naming the valid
+        choices, so typos fail loudly instead of silently running defaults.
+        """
+        valid = {"khi", "ml", "streaming", "region_counts",
+                 "n_detector_directions", "n_detector_frequencies", "seed"}
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise ValueError(f"unknown WorkflowConfig keys {unknown}; "
+                             f"valid keys: {', '.join(sorted(valid))}")
+        kwargs: Dict[str, object] = {}
+        if "khi" in data:
+            kwargs["khi"] = _dataclass_from_dict(KHIConfig, data["khi"])
+        if "ml" in data:
+            ml_data = dict(data["ml"])
+            model_data = ml_data.pop("model", None)
+            kwargs["ml"] = _dataclass_from_dict(MLConfig, ml_data)
+            if model_data is not None:
+                kwargs["ml"].model = _dataclass_from_dict(ModelConfig, model_data)
+        if "streaming" in data:
+            kwargs["streaming"] = _dataclass_from_dict(StreamingConfig,
+                                                       data["streaming"])
+        if "region_counts" in data:
+            kwargs["region_counts"] = tuple(data["region_counts"])
+        for key in ("n_detector_directions", "n_detector_frequencies", "seed"):
+            if key in data:
+                kwargs[key] = data[key]
+        return cls(**kwargs)
+
+    def to_file(self, path: str) -> None:
+        """Write the config as JSON (readable by :meth:`from_file`)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+    @classmethod
+    def from_file(cls, path: str) -> "WorkflowConfig":
+        """Load a config previously written by :meth:`to_file`."""
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

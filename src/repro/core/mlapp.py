@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -71,7 +71,8 @@ class MLApp:
         return samples
 
     def consume(self, max_iterations: Optional[int] = None,
-                keep_for_evaluation: int = 0) -> int:
+                keep_for_evaluation: int = 0,
+                on_iteration: Optional[Callable[[int, int], None]] = None) -> int:
         """Read up to ``max_iterations`` from the stream and train on them.
 
         Parameters
@@ -81,6 +82,10 @@ class MLApp:
             :attr:`evaluation_samples` (held out for the Fig. 9 analysis;
             they are still trained on, as the paper evaluates on streamed
             data too).
+        on_iteration:
+            Called as ``on_iteration(iteration_index, n_samples)`` after
+            each streamed iteration has been trained on — the lifecycle
+            hook the workflow drivers use for back-pressure accounting.
         """
         consumed = 0
         for iteration in self.series.read_iterations():
@@ -93,6 +98,8 @@ class MLApp:
             self.iterations_consumed += 1
             self.samples_consumed += len(samples)
             consumed += 1
+            if on_iteration is not None:
+                on_iteration(iteration.index, len(samples))
             if max_iterations is not None and consumed >= max_iterations:
                 break
         return consumed

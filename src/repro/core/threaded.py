@@ -1,19 +1,24 @@
 """Truly concurrent coupling: producer and consumer in separate threads.
 
+.. deprecated::
+    Prefer ``WorkflowBuilder().driver("threaded")`` (see
+    :mod:`repro.workflow.drivers`), which generalises this runner to many
+    consumers and returns the uniform ``RunResult``.  This class is kept as
+    a seed-compatible adapter: it drives the facade's session with a
+    :class:`repro.workflow.drivers.ThreadedDriver` and maps the result into
+    the historical :class:`ThreadedRunResult` shape.
+
 :class:`repro.core.ArtificialScientist.run` alternates one simulation step
 with draining the stream — convenient and deterministic, but serialised.
 The real system runs both applications concurrently; back-pressure through
 the bounded SST queue is what keeps them in lock-step when training is
-slower than the simulation.  :class:`ThreadedWorkflowRunner` reproduces that
-concurrency: the simulation loop runs in a worker thread while the MLapp
-consumes the stream in the calling thread, and the queue limit (not explicit
-synchronisation) couples their progress.
+slower than the simulation.  :class:`ThreadedWorkflowRunner` reproduces
+that concurrency: simulation and MLapp run in separate threads and the
+queue limit (not explicit synchronisation) couples their progress.
 """
 
 from __future__ import annotations
 
-import threading
-import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -22,11 +27,21 @@ from repro.core.artificial_scientist import ArtificialScientist, WorkflowReport
 
 @dataclass
 class ThreadedRunResult:
-    """Outcome of a concurrent run."""
+    """Outcome of a concurrent run.
+
+    Producer *and* consumer exceptions are surfaced side by side; earlier
+    versions let a consumer exception propagate and thereby dropped the
+    producer's when both sides failed.
+    """
 
     report: WorkflowReport
     producer_exception: Optional[BaseException]
     max_queue_depth: int
+    consumer_exception: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.producer_exception is None and self.consumer_exception is None
 
 
 class ThreadedWorkflowRunner:
@@ -34,55 +49,23 @@ class ThreadedWorkflowRunner:
 
     def __init__(self, scientist: ArtificialScientist) -> None:
         self.scientist = scientist
-        self._producer_error: Optional[BaseException] = None
-        self._max_queue_depth = 0
-
-    def _produce(self, n_steps: int) -> None:
-        try:
-            for _ in range(n_steps):
-                self.scientist.simulation.step()
-                depth = self.scientist.broker.queued_steps
-                if depth > self._max_queue_depth:
-                    self._max_queue_depth = depth
-            self.scientist.writer_series.close()
-        except BaseException as error:  # noqa: BLE001 - reported to the caller
-            self._producer_error = error
-            # make sure the consumer does not wait forever
-            self.scientist.broker.close()
 
     def run(self, n_steps: int, keep_for_evaluation: int = 1,
             join_timeout: float = 300.0) -> ThreadedRunResult:
-        """Run ``n_steps`` with the simulation in a background thread."""
-        if n_steps < 1:
-            raise ValueError("n_steps must be >= 1")
-        scientist = self.scientist
-        start = time.perf_counter()
+        """Run ``n_steps`` with simulation and MLapp in separate threads.
 
-        producer = threading.Thread(target=self._produce, args=(n_steps,),
-                                    name="pic-producer", daemon=True)
-        producer.start()
-        # the consumer (MLapp) drains the stream until end-of-stream
-        training_start = time.perf_counter()
-        scientist.mlapp.consume(keep_for_evaluation=keep_for_evaluation)
-        training_time = time.perf_counter() - training_start
-        producer.join(timeout=join_timeout)
-        if producer.is_alive():
-            raise TimeoutError("the producer thread did not finish in time")
-        wall = time.perf_counter() - start
+        Like :meth:`ArtificialScientist.run`, the underlying session is
+        single-use: a second call raises ``RuntimeError("session already
+        consumed")``.  Thread-join timeouts are reported as the producer
+        exception rather than raised.
+        """
+        from repro.workflow.drivers import ThreadedDriver
 
-        report = WorkflowReport(
-            n_steps=n_steps,
-            iterations_streamed=scientist.producer.iterations_streamed,
-            samples_streamed=scientist.producer.samples_streamed,
-            training_iterations=len(scientist.mlapp.history),
-            bytes_streamed=scientist.producer.bytes_streamed,
-            wall_time=wall,
-            simulation_time=wall - training_time if wall > training_time else 0.0,
-            training_time=training_time,
-            final_losses=scientist.mlapp.loss_summary(),
-            loss_history_total=list(scientist.mlapp.history.series("total"))
-            if len(scientist.mlapp.history) else [],
-        )
-        return ThreadedRunResult(report=report,
-                                 producer_exception=self._producer_error,
-                                 max_queue_depth=self._max_queue_depth)
+        session = self.scientist.session
+        session.driver = ThreadedDriver(join_timeout=join_timeout)
+        result = session.run(n_steps, keep_for_evaluation=keep_for_evaluation)
+        return ThreadedRunResult(
+            report=result.report,
+            producer_exception=result.producer_exception,
+            max_queue_depth=result.max_queue_depth,
+            consumer_exception=result.consumer_exceptions.get(session.primary_name))

@@ -1,0 +1,349 @@
+"""WorkflowBuilder / WorkflowSession: composable assembly of the coupled run.
+
+The paper's workflow is loosely coupled by construction: producer and
+consumers only ever meet through the openPMD-over-SST stream.  The session
+object reflects that — it assembles named components around one stream:
+
+* one **producer**: the KHI PIC simulation with the streaming output plugin,
+* one **stream**: a :class:`repro.workflow.fanout.FanOutBroker` teeing every
+  step into a bounded per-consumer queue,
+* *N* **consumers** (the MLapp by default; more via the consumer registry),
+* one **execution driver** (serial / threaded / pipelined) that owns the
+  run schedule and returns a uniform :class:`repro.workflow.report.RunResult`.
+
+Typical use::
+
+    from repro.workflow import WorkflowBuilder
+
+    session = (WorkflowBuilder()
+               .preset("laptop")
+               .driver("threaded")
+               .add_consumer("monitor", kind="histogram-monitor")
+               .on_step(lambda s, i: print("step", i))
+               .build())
+    result = session.run(5)
+    print(result.report.summary())
+
+A session is single-use (streams cannot rewind): calling :meth:`run` twice
+raises ``RuntimeError("session already consumed")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING, Union
+
+from repro.core.config import WorkflowConfig
+from repro.core.placement import PlacementMode, ResourcePlan
+from repro.core.producer import StreamingProducerPlugin
+from repro.core.transforms import RegionPartition
+from repro.openpmd.backends import StreamingBackend
+from repro.openpmd.series import Access, Series
+from repro.pic.khi import make_khi_simulation
+from repro.pic.simulation import PICSimulation
+from repro.radiation.detector import RadiationDetector
+from repro.streaming.broker import QueueFullPolicy, SSTBroker
+from repro.streaming.dataplane import make_data_plane
+from repro.streaming.engine import SSTReaderEngine, SSTWriterEngine
+from repro.utils.rng import derive_seed, seeded_rng
+from repro.workflow.consumers import (ConsumerFactory, MLAppConsumer, StreamConsumer,
+                                      get_consumer_factory)
+from repro.workflow.drivers import ExecutionDriver, SerialDriver, get_driver
+from repro.workflow.fanout import FanOutBroker
+from repro.workflow.presets import get_preset
+from repro.workflow.report import RunResult, WorkflowReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.evaluation import InversionReport
+
+#: ``hook(session, step_index)`` after every simulation step.
+StepHook = Callable[["WorkflowSession", int], None]
+#: ``hook(session, consumer_name, iteration_index, n_samples)`` after a
+#: consumer finishes one streamed iteration.
+IterationHook = Callable[["WorkflowSession", str, int, int], None]
+#: ``hook(session, result)`` once the driver returns.
+RunEndHook = Callable[["WorkflowSession", RunResult], None]
+
+
+@dataclass
+class WorkflowHooks:
+    """Lifecycle callbacks observed by every driver."""
+
+    on_step: List[StepHook] = field(default_factory=list)
+    on_iteration_consumed: List[IterationHook] = field(default_factory=list)
+    on_run_end: List[RunEndHook] = field(default_factory=list)
+
+
+@dataclass
+class ConsumerSpec:
+    """A named consumer to attach to the session's stream."""
+
+    name: str
+    factory: ConsumerFactory
+    queue_limit: Optional[int] = None   #: defaults to the streaming config's
+
+
+class WorkflowSession:
+    """One assembled, single-use coupled run.
+
+    Prefer :class:`WorkflowBuilder` over calling this constructor directly.
+    """
+
+    PRIMARY_CONSUMER = "mlapp"
+
+    def __init__(self, config: Optional[WorkflowConfig] = None,
+                 placement: Optional[ResourcePlan] = None,
+                 driver: Optional[ExecutionDriver] = None,
+                 consumer_specs: Optional[List[ConsumerSpec]] = None,
+                 hooks: Optional[WorkflowHooks] = None) -> None:
+        self.config = config or WorkflowConfig()
+        self.placement = placement or ResourcePlan(n_nodes=1,
+                                                   mode=PlacementMode.INTRA_NODE)
+        self.driver = driver or SerialDriver()
+        self.hooks = hooks or WorkflowHooks()
+        cfg = self.config
+
+        # --- producer: PIC simulation + streaming output plugin ------------ #
+        self.simulation: PICSimulation = make_khi_simulation(
+            cfg.khi, rng=seeded_rng(derive_seed(cfg.seed, 1)))
+        self.detector = RadiationDetector.for_khi(
+            density=cfg.khi.density,
+            n_directions=cfg.n_detector_directions,
+            n_frequencies=cfg.n_detector_frequencies)
+        self.partition = RegionPartition(cfg.khi.grid_config, cfg.region_counts)
+        data_plane = make_data_plane(cfg.streaming.data_plane,
+                                     rng=seeded_rng(derive_seed(cfg.seed, 2)))
+
+        # --- consumers: one bounded queue + reader series each -------------- #
+        if consumer_specs is None:
+            consumer_specs = [ConsumerSpec(self.PRIMARY_CONSUMER,
+                                           get_consumer_factory("mlapp"))]
+        if not consumer_specs:
+            raise ValueError("a workflow session needs at least one consumer")
+        names = [spec.name for spec in consumer_specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate consumer names: {names}")
+        self.brokers: Dict[str, SSTBroker] = {}
+        self.consumer_series: Dict[str, Series] = {}
+        self.consumers: Dict[str, StreamConsumer] = {}
+        for position, spec in enumerate(consumer_specs):
+            broker = SSTBroker(f"{cfg.streaming.stream_name}#{spec.name}",
+                               queue_limit=cfg.streaming.queue_limit
+                               if spec.queue_limit is None else spec.queue_limit,
+                               policy=QueueFullPolicy.BLOCK)
+            reader = SSTReaderEngine(broker, data_plane=data_plane)
+            series = Series(cfg.streaming.stream_name, Access.READ_LINEAR,
+                            StreamingBackend(reader=reader))
+            # the primary consumer keeps the seed's RNG derivation so the
+            # ArtificialScientist facade reproduces seed results bit-for-bit
+            stream_index = 4 if spec.name == self.PRIMARY_CONSUMER else 10 + position
+            rng = seeded_rng(derive_seed(cfg.seed, stream_index))
+            self.brokers[spec.name] = broker
+            self.consumer_series[spec.name] = series
+            self.consumers[spec.name] = spec.factory(spec.name, series, self, rng)
+        self.primary_name = names[0]
+
+        # --- the stream: one writer teeing into every consumer queue -------- #
+        self.fanout = FanOutBroker(cfg.streaming.stream_name,
+                                   list(self.brokers.values()))
+        writer_engine = SSTWriterEngine(self.fanout, data_plane=data_plane)
+        self.writer_series = Series(cfg.streaming.stream_name, Access.CREATE,
+                                    StreamingBackend(writer=writer_engine))
+        reduction = cfg.streaming.build_reduction_pipeline(
+            rng=seeded_rng(derive_seed(cfg.seed, 6)))
+        self.producer = StreamingProducerPlugin(
+            self.writer_series, self.detector, self.partition,
+            n_points=cfg.n_points_per_sample,
+            sample_interval=cfg.streaming.sample_interval,
+            reduction=reduction,
+            rng=seeded_rng(derive_seed(cfg.seed, 3)))
+        self.simulation.add_plugin(self.producer)
+        self._consumed = False
+
+    # -- running ------------------------------------------------------------ #
+    @property
+    def consumed(self) -> bool:
+        return self._consumed
+
+    def run(self, n_steps: int, keep_for_evaluation: int = 1) -> RunResult:
+        """Drive the session for ``n_steps`` with the configured driver."""
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        if self._consumed:
+            raise RuntimeError(
+                "session already consumed: a stream cannot be rewound, build "
+                "a new WorkflowSession to run again")
+        self._consumed = True
+        for consumer in self.consumers.values():
+            consumer.configure_run(keep_for_evaluation)
+        result = self.driver.execute(self, n_steps)
+        for hook in self.hooks.on_run_end:
+            hook(self, result)
+        return result
+
+    # -- driver-facing helpers ----------------------------------------------- #
+    def fire_step(self, step_index: int) -> None:
+        for hook in self.hooks.on_step:
+            hook(self, step_index)
+
+    def notify_iteration(self, consumer_name: str, iteration_index: int,
+                         n_samples: int) -> None:
+        for hook in self.hooks.on_iteration_consumed:
+            hook(self, consumer_name, iteration_index, n_samples)
+
+    def queue_depth(self) -> int:
+        """Depth of the fullest consumer queue right now."""
+        return self.fanout.queued_steps
+
+    def build_report(self, n_steps: int, wall_time: float,
+                     simulation_time: float, training_time: float) -> WorkflowReport:
+        mlapp = self.mlapp
+        return WorkflowReport(
+            n_steps=n_steps,
+            iterations_streamed=self.producer.iterations_streamed,
+            samples_streamed=self.producer.samples_streamed,
+            training_iterations=len(mlapp.history) if mlapp is not None else 0,
+            bytes_streamed=self.producer.bytes_streamed,
+            wall_time=wall_time,
+            simulation_time=simulation_time,
+            training_time=training_time,
+            final_losses=mlapp.loss_summary() if mlapp is not None else {},
+            loss_history_total=list(mlapp.history.series("total"))
+            if mlapp is not None and len(mlapp.history) else [],
+        )
+
+    # -- convenience accessors ------------------------------------------------ #
+    @property
+    def primary(self) -> StreamConsumer:
+        return self.consumers[self.primary_name]
+
+    @property
+    def mlapp(self):
+        """The first training consumer's MLapp (``None`` if there is none)."""
+        for consumer in self.consumers.values():
+            if isinstance(consumer, MLAppConsumer):
+                return consumer.mlapp
+        return None
+
+    @property
+    def model(self):
+        mlapp = self.mlapp
+        return mlapp.model if mlapp is not None else None
+
+    @property
+    def broker(self) -> SSTBroker:
+        """The primary consumer's bounded queue (seed-compatible accessor)."""
+        return self.brokers[self.primary_name]
+
+    @property
+    def reader_series(self) -> Series:
+        return self.consumer_series[self.primary_name]
+
+    def evaluate(self, n_posterior_samples: int = 4) -> "InversionReport":
+        """Evaluate the trained model on the held-out streamed samples (Fig. 9)."""
+        from repro.analysis.evaluation import evaluate_inversion
+
+        mlapp = self.mlapp
+        if mlapp is None:
+            raise RuntimeError("this session has no training consumer to evaluate")
+        if not mlapp.evaluation_samples:
+            raise RuntimeError("no evaluation samples were kept; run() with "
+                               "keep_for_evaluation >= 1 first")
+        return evaluate_inversion(mlapp.model, mlapp.evaluation_samples,
+                                  n_posterior_samples=n_posterior_samples,
+                                  rng=seeded_rng(derive_seed(self.config.seed, 5)))
+
+
+class WorkflowBuilder:
+    """Fluent assembly of a :class:`WorkflowSession`.
+
+    Every method returns the builder; :meth:`build` produces a fresh,
+    single-use session (the builder itself can be reused).
+    """
+
+    def __init__(self) -> None:
+        self._config: Optional[WorkflowConfig] = None
+        self._placement: Optional[ResourcePlan] = None
+        self._driver: Optional[ExecutionDriver] = None
+        self._consumer_specs: List[ConsumerSpec] = [
+            ConsumerSpec(WorkflowSession.PRIMARY_CONSUMER,
+                         get_consumer_factory("mlapp"))]
+        self._hooks = WorkflowHooks()
+
+    # -- configuration -------------------------------------------------------- #
+    def config(self, config: WorkflowConfig) -> "WorkflowBuilder":
+        self._config = config
+        return self
+
+    def preset(self, name: str) -> "WorkflowBuilder":
+        """Use a named preset from :mod:`repro.workflow.presets`."""
+        self._config = get_preset(name)
+        return self
+
+    def config_file(self, path: str) -> "WorkflowBuilder":
+        """Load the configuration from a JSON file (``WorkflowConfig.from_file``)."""
+        self._config = WorkflowConfig.from_file(path)
+        return self
+
+    def placement(self, plan: ResourcePlan) -> "WorkflowBuilder":
+        self._placement = plan
+        return self
+
+    # -- execution strategy ---------------------------------------------------- #
+    def driver(self, driver: Union[str, ExecutionDriver],
+               **driver_kwargs) -> "WorkflowBuilder":
+        """Select the execution driver by name or instance."""
+        if isinstance(driver, ExecutionDriver):
+            if driver_kwargs:
+                raise ValueError("driver kwargs only apply when passing a name")
+            self._driver = driver
+        else:
+            self._driver = get_driver(driver, **driver_kwargs)
+        return self
+
+    # -- consumers -------------------------------------------------------------- #
+    def add_consumer(self, name: str, kind: Optional[str] = None,
+                     factory: Optional[ConsumerFactory] = None,
+                     queue_limit: Optional[int] = None) -> "WorkflowBuilder":
+        """Attach an additional named consumer to the stream.
+
+        Provide either a registered ``kind`` (see
+        :func:`repro.workflow.consumers.available_consumers`) or a custom
+        ``factory``; by default ``kind=name`` is assumed.
+        """
+        if factory is None:
+            factory = get_consumer_factory(kind or name)
+        elif kind is not None:
+            raise ValueError("pass either kind or factory, not both")
+        self._consumer_specs.append(ConsumerSpec(name, factory,
+                                                 queue_limit=queue_limit))
+        return self
+
+    def replace_consumers(self, specs: List[ConsumerSpec]) -> "WorkflowBuilder":
+        """Swap out the full consumer list (including the default MLapp)."""
+        self._consumer_specs = list(specs)
+        return self
+
+    # -- lifecycle hooks ---------------------------------------------------------- #
+    def on_step(self, hook: StepHook) -> "WorkflowBuilder":
+        self._hooks.on_step.append(hook)
+        return self
+
+    def on_iteration_consumed(self, hook: IterationHook) -> "WorkflowBuilder":
+        self._hooks.on_iteration_consumed.append(hook)
+        return self
+
+    def on_run_end(self, hook: RunEndHook) -> "WorkflowBuilder":
+        self._hooks.on_run_end.append(hook)
+        return self
+
+    # -- assembly --------------------------------------------------------------- #
+    def build(self) -> WorkflowSession:
+        hooks = WorkflowHooks(on_step=list(self._hooks.on_step),
+                              on_iteration_consumed=list(
+                                  self._hooks.on_iteration_consumed),
+                              on_run_end=list(self._hooks.on_run_end))
+        return WorkflowSession(config=self._config, placement=self._placement,
+                               driver=self._driver,
+                               consumer_specs=list(self._consumer_specs),
+                               hooks=hooks)

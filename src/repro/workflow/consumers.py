@@ -1,0 +1,189 @@
+"""Stream consumers: pluggable reader applications of one workflow stream.
+
+In the paper any number of independent consumer applications can attach to
+the openPMD-over-SST stream — the MLapp is simply the one that trains.
+This module gives consumers a uniform shape (:class:`StreamConsumer`) so
+that :class:`repro.workflow.builder.WorkflowSession` can fan one producer
+stream out to several of them, and a small registry so that the CLI and
+configs can name them.
+
+Two consumers ship by default:
+
+* :class:`MLAppConsumer` — wraps :class:`repro.core.mlapp.MLApp`, the
+  in-transit trainer (the primary consumer of every session),
+* :class:`HistogramMonitorConsumer` — a lightweight monitoring application
+  that histograms streamed momenta and tracks spectra without training,
+  the kind of live diagnostic the loose coupling is meant to enable.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.mlapp import MLApp
+from repro.openpmd.series import Series
+from repro.utils.rng import RandomState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workflow.builder import WorkflowSession
+
+#: Called after a consumer finishes one iteration: ``(iteration_index, n_samples)``.
+IterationCallback = Callable[[int, int], None]
+
+#: Builds a consumer: ``factory(name, series, session, rng) -> StreamConsumer``.
+ConsumerFactory = Callable[[str, Series, "WorkflowSession", RandomState], "StreamConsumer"]
+
+
+class StreamConsumer(abc.ABC):
+    """One reader application attached to the workflow stream."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.iterations_consumed = 0
+        self.samples_consumed = 0
+
+    def configure_run(self, keep_for_evaluation: int) -> None:
+        """Per-run knobs pushed down by the session before driving starts."""
+
+    @abc.abstractmethod
+    def consume(self, max_iterations: Optional[int] = None,
+                on_iteration: Optional[IterationCallback] = None) -> int:
+        """Read up to ``max_iterations`` from the stream (all, if ``None``)."""
+
+    @abc.abstractmethod
+    def summary(self) -> Dict[str, object]:
+        """A JSON-able digest of what this consumer did."""
+
+
+class MLAppConsumer(StreamConsumer):
+    """The paper's MLapp as a session consumer: trains the VAE+INN in transit."""
+
+    def __init__(self, name: str, series: Series, session: "WorkflowSession",
+                 rng: RandomState = None) -> None:
+        super().__init__(name)
+        self.mlapp = MLApp(series, session.config.ml, rng=rng)
+        self.keep_for_evaluation = 0
+
+    def configure_run(self, keep_for_evaluation: int) -> None:
+        self.keep_for_evaluation = int(keep_for_evaluation)
+
+    def consume(self, max_iterations: Optional[int] = None,
+                on_iteration: Optional[IterationCallback] = None) -> int:
+        consumed = self.mlapp.consume(max_iterations=max_iterations,
+                                      keep_for_evaluation=self.keep_for_evaluation,
+                                      on_iteration=on_iteration)
+        self.iterations_consumed = self.mlapp.iterations_consumed
+        self.samples_consumed = self.mlapp.samples_consumed
+        return consumed
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "kind": "mlapp",
+            "iterations_consumed": self.iterations_consumed,
+            "samples_consumed": self.samples_consumed,
+            "training_iterations": len(self.mlapp.history),
+            "final_losses": self.mlapp.loss_summary(),
+        }
+
+
+class HistogramMonitorConsumer(StreamConsumer):
+    """A monitoring consumer: histograms momenta, averages spectra, trains nothing.
+
+    It only touches the ``ml_samples`` records, demonstrating that a second
+    application can attach to the same stream without knowing anything about
+    the trainer (or even about the raw particle records).
+    """
+
+    def __init__(self, name: str, series: Series, n_bins: int = 16,
+                 momentum_range: float = 0.5) -> None:
+        super().__init__(name)
+        self.series = series
+        self.n_bins = int(n_bins)
+        self.bin_edges = np.linspace(-momentum_range, momentum_range, self.n_bins + 1)
+        self.momentum_counts = np.zeros(self.n_bins, dtype=np.int64)
+        self.spectrum_sum: Optional[np.ndarray] = None
+        self.per_step_sample_counts: Dict[int, int] = {}
+
+    def consume(self, max_iterations: Optional[int] = None,
+                on_iteration: Optional[IterationCallback] = None) -> int:
+        consumed = 0
+        for iteration in self.series.read_iterations():
+            records = iteration.get_particles("ml_samples")
+            clouds = records["point_clouds"].load_scalar()
+            spectra = records["spectra"].load_scalar()
+            # flow-direction momentum component of every point of every cloud
+            momenta = np.asarray(clouds)[..., 3].ravel()
+            counts, _ = np.histogram(momenta, bins=self.bin_edges)
+            self.momentum_counts += counts
+            total = np.asarray(spectra).sum(axis=0)
+            self.spectrum_sum = total if self.spectrum_sum is None \
+                else self.spectrum_sum + total
+            n_samples = len(clouds)
+            self.per_step_sample_counts[iteration.index] = n_samples
+            self.iterations_consumed += 1
+            self.samples_consumed += n_samples
+            consumed += 1
+            if on_iteration is not None:
+                on_iteration(iteration.index, n_samples)
+            if max_iterations is not None and consumed >= max_iterations:
+                break
+        return consumed
+
+    @property
+    def mean_spectrum(self) -> Optional[np.ndarray]:
+        if self.spectrum_sum is None or self.samples_consumed == 0:
+            return None
+        return self.spectrum_sum / self.samples_consumed
+
+    def summary(self) -> Dict[str, object]:
+        mean = self.mean_spectrum
+        return {
+            "kind": "histogram-monitor",
+            "iterations_consumed": self.iterations_consumed,
+            "samples_consumed": self.samples_consumed,
+            "momentum_histogram": self.momentum_counts.tolist(),
+            "mean_spectrum_peak": None if mean is None else float(mean.max()),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+def _make_mlapp(name: str, series: Series, session: "WorkflowSession",
+                rng: RandomState) -> StreamConsumer:
+    return MLAppConsumer(name, series, session, rng=rng)
+
+
+def _make_histogram_monitor(name: str, series: Series, session: "WorkflowSession",
+                            rng: RandomState) -> StreamConsumer:
+    return HistogramMonitorConsumer(name, series)
+
+
+_CONSUMER_FACTORIES: Dict[str, ConsumerFactory] = {
+    "mlapp": _make_mlapp,
+    "histogram-monitor": _make_histogram_monitor,
+}
+
+
+def available_consumers() -> tuple:
+    return tuple(sorted(_CONSUMER_FACTORIES))
+
+
+def register_consumer(kind: str, factory: ConsumerFactory,
+                      overwrite: bool = False) -> None:
+    """Register a named consumer factory for builders/CLI to reference."""
+    if kind in _CONSUMER_FACTORIES and not overwrite:
+        raise ValueError(f"consumer kind {kind!r} is already registered")
+    _CONSUMER_FACTORIES[kind] = factory
+
+
+def get_consumer_factory(kind: str) -> ConsumerFactory:
+    try:
+        return _CONSUMER_FACTORIES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown consumer kind {kind!r}; valid kinds: "
+            f"{', '.join(available_consumers())}") from None

@@ -1,0 +1,377 @@
+"""Execution drivers: strategies for driving one workflow session.
+
+The seed API had two divergent run paths — ``ArtificialScientist.run``
+(strictly alternating, deterministic) and ``ThreadedWorkflowRunner``
+(concurrent, different result type).  Drivers unify them behind one
+interface: every driver takes a built
+:class:`repro.workflow.builder.WorkflowSession` and returns the same
+:class:`repro.workflow.report.RunResult`.
+
+* :class:`SerialDriver` — one thread, one simulation step then drain; the
+  deterministic steady-state schedule (the seed ``run()`` behaviour).
+* :class:`ThreadedDriver` — the simulation in a producer thread, every
+  consumer in its own thread; the bounded SST queues provide the only
+  coupling (the seed ``ThreadedWorkflowRunner`` behaviour, generalised to
+  many consumers).
+* :class:`PipelinedDriver` — like threaded, but with explicit bounded
+  back-pressure: the producer admits at most ``max_in_flight`` streamed
+  iterations that the slowest consumer has not finished yet, overlapping
+  simulation and training while keeping memory bounded independently of
+  the per-queue limits.  It also records a queue-depth timeline.
+
+Producer and consumer exceptions are always captured (never silently
+dropped) and surfaced together on the ``RunResult``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING, Type
+
+from repro.streaming.broker import StreamClosedError
+from repro.workflow.report import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workflow.builder import WorkflowSession
+
+
+def _iteration_callback(session: "WorkflowSession", name: str,
+                        extra: Optional[Callable[[int, int], None]] = None):
+    """Compose the session's hook dispatch with a driver-internal callback."""
+    def callback(iteration_index: int, n_samples: int) -> None:
+        session.notify_iteration(name, iteration_index, n_samples)
+        if extra is not None:
+            extra(iteration_index, n_samples)
+    return callback
+
+
+def _collect_summaries(session: "WorkflowSession") -> Dict[str, Dict[str, object]]:
+    return {name: consumer.summary()
+            for name, consumer in session.consumers.items()}
+
+
+def _true_producer_error(producer_error: Optional[BaseException],
+                         consumer_errors: Dict[str, BaseException]
+                         ) -> Optional[BaseException]:
+    """Drop a secondary stream-closed error caused by the consumers dying.
+
+    When the last consumer fails, its queue is closed and the producer's
+    next put raises ``StreamClosedError("no live consumers left")`` — a
+    symptom, not a producer failure.  Reporting it as one would mask the
+    consumers' root-cause exceptions behind ``raise_if_failed()``.
+    """
+    if (isinstance(producer_error, StreamClosedError) and consumer_errors):
+        return None
+    return producer_error
+
+
+class ExecutionDriver:
+    """Strategy interface: drive a session for ``n_steps`` steps."""
+
+    name: str = "abstract"
+
+    def execute(self, session: "WorkflowSession", n_steps: int) -> RunResult:
+        raise NotImplementedError
+
+
+class SerialDriver(ExecutionDriver):
+    """Alternate one simulation step with draining every consumer's queue."""
+
+    name = "serial"
+
+    def execute(self, session: "WorkflowSession", n_steps: int) -> RunResult:
+        start = time.perf_counter()
+        simulation_time = 0.0
+        consumer_times = {name: 0.0 for name in session.consumers}
+        producer_error: Optional[BaseException] = None
+        consumer_errors: Dict[str, BaseException] = {}
+        max_depth = 0
+        depth_samples: List[int] = []
+
+        steps_done = 0
+        for index in range(n_steps):
+            t0 = time.perf_counter()
+            try:
+                session.simulation.step()
+                session.fire_step(index)
+                steps_done += 1
+            except BaseException as error:  # noqa: BLE001 - surfaced in the result
+                producer_error = error
+                break
+            finally:
+                simulation_time += time.perf_counter() - t0
+            depth = session.queue_depth()
+            depth_samples.append(depth)
+            max_depth = max(max_depth, depth)
+            for name, consumer in session.consumers.items():
+                if name in consumer_errors:
+                    continue
+                queued = session.brokers[name].queued_steps
+                if not queued:
+                    continue
+                t0 = time.perf_counter()
+                try:
+                    consumer.consume(max_iterations=queued,
+                                     on_iteration=_iteration_callback(session, name))
+                except BaseException as error:  # noqa: BLE001
+                    consumer_errors[name] = error
+                    session.brokers[name].close()
+                finally:
+                    consumer_times[name] += time.perf_counter() - t0
+
+        # flush: end the stream and let every consumer drain what is left
+        try:
+            session.writer_series.close()
+        except BaseException as error:  # noqa: BLE001
+            producer_error = producer_error or error
+        for name, consumer in session.consumers.items():
+            if name in consumer_errors:
+                continue
+            t0 = time.perf_counter()
+            try:
+                consumer.consume(on_iteration=_iteration_callback(session, name))
+            except BaseException as error:  # noqa: BLE001
+                consumer_errors[name] = error
+                session.brokers[name].close()
+            finally:
+                consumer_times[name] += time.perf_counter() - t0
+
+        wall = time.perf_counter() - start
+        # report the steps actually completed, not the ones requested — the
+        # two differ when the producer failed mid-run
+        report = session.build_report(
+            n_steps=steps_done, wall_time=wall, simulation_time=simulation_time,
+            training_time=consumer_times.get(session.primary_name, 0.0))
+        return RunResult(report=report, driver=self.name, max_queue_depth=max_depth,
+                         queue_depth_samples=depth_samples,
+                         producer_exception=_true_producer_error(producer_error,
+                                                                 consumer_errors),
+                         consumer_exceptions=consumer_errors,
+                         consumer_summaries=_collect_summaries(session))
+
+
+class _ConcurrentDriverBase(ExecutionDriver):
+    """Shared producer/consumer thread scaffolding of the concurrent drivers."""
+
+    def __init__(self, join_timeout: float = 300.0) -> None:
+        self.join_timeout = float(join_timeout)
+
+    # subclasses override these two to inject back-pressure / accounting
+    def _before_step(self, context: dict, index: int) -> None:
+        pass
+
+    def _consumer_extra(self, context: dict, name: str):
+        return None
+
+    def execute(self, session: "WorkflowSession", n_steps: int) -> RunResult:
+        lock = threading.Lock()
+        context: dict = {
+            "session": session, "lock": lock, "abort": threading.Event(),
+            "producer_error": None, "consumer_errors": {},
+            "max_depth": 0, "depth_samples": [], "simulation_time": 0.0,
+            "steps_done": 0,
+            "consumer_times": {name: 0.0 for name in session.consumers},
+        }
+        self._prepare(context, session)
+        start = time.perf_counter()
+
+        def produce() -> None:
+            try:
+                for index in range(n_steps):
+                    self._before_step(context, index)
+                    if context["abort"].is_set():
+                        break
+                    t0 = time.perf_counter()
+                    session.simulation.step()
+                    elapsed = time.perf_counter() - t0
+                    session.fire_step(index)
+                    depth = session.queue_depth()
+                    # all run accounting updates under one lock so the final
+                    # snapshot is coherent even if this thread leaks past the
+                    # join timeout
+                    with lock:
+                        context["simulation_time"] += elapsed
+                        context["steps_done"] += 1
+                        context["depth_samples"].append(depth)
+                        context["max_depth"] = max(context["max_depth"], depth)
+            except BaseException as error:  # noqa: BLE001 - surfaced in the result
+                with lock:
+                    context["producer_error"] = error
+            finally:
+                # always end the stream so no consumer waits forever
+                try:
+                    session.writer_series.close()
+                except BaseException as error:  # noqa: BLE001
+                    with lock:
+                        if context["producer_error"] is None:
+                            context["producer_error"] = error
+
+        def consume(name: str, consumer) -> None:
+            callback = _iteration_callback(session, name,
+                                           extra=self._consumer_extra(context, name))
+            t0 = time.perf_counter()
+            try:
+                consumer.consume(on_iteration=callback)
+            except BaseException as error:  # noqa: BLE001
+                with lock:
+                    context["consumer_errors"][name] = error
+                session.brokers[name].close()
+                self._consumer_died(context, name)
+            finally:
+                with lock:
+                    context["consumer_times"][name] = time.perf_counter() - t0
+
+        threads = [threading.Thread(target=produce, name="workflow-producer",
+                                    daemon=True)]
+        threads += [threading.Thread(target=consume, args=(name, consumer),
+                                     name=f"workflow-consumer-{name}", daemon=True)
+                    for name, consumer in session.consumers.items()]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + self.join_timeout
+        stuck = []
+        for thread in threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                stuck.append(thread.name)
+        if stuck:
+            context["abort"].set()
+            timeout_error = TimeoutError(
+                f"threads did not finish within {self.join_timeout:.0f} s: "
+                f"{', '.join(stuck)}")
+            with lock:
+                if context["producer_error"] is None:
+                    context["producer_error"] = timeout_error
+
+        wall = time.perf_counter() - start
+        # snapshot the shared state: a thread leaked past the join timeout
+        # must not mutate the result the caller is already inspecting
+        with lock:
+            steps_done = context["steps_done"]
+            simulation_time = context["simulation_time"]
+            training_time = context["consumer_times"].get(session.primary_name, 0.0)
+            consumer_errors = dict(context["consumer_errors"])
+            producer_error = context["producer_error"]
+            depth_samples = list(context["depth_samples"])
+            max_depth = context["max_depth"]
+        report = session.build_report(
+            n_steps=steps_done, wall_time=wall,
+            simulation_time=simulation_time, training_time=training_time)
+        return RunResult(report=report, driver=self.name,
+                         max_queue_depth=max_depth,
+                         queue_depth_samples=depth_samples,
+                         producer_exception=_true_producer_error(producer_error,
+                                                                 consumer_errors),
+                         consumer_exceptions=consumer_errors,
+                         consumer_summaries=_collect_summaries(session))
+
+    def _prepare(self, context: dict, session: "WorkflowSession") -> None:
+        pass
+
+    def _consumer_died(self, context: dict, name: str) -> None:
+        pass
+
+
+class ThreadedDriver(_ConcurrentDriverBase):
+    """Producer and every consumer in their own threads, coupled only by the
+    bounded SST queues (the paper's co-scheduled steady state)."""
+
+    name = "threaded"
+
+
+class PipelinedDriver(_ConcurrentDriverBase):
+    """Overlap simulation and training with explicit bounded back-pressure.
+
+    On top of the per-queue limits, the producer only starts a simulation
+    step while fewer than ``max_in_flight`` streamed iterations are still
+    unconsumed by the *slowest* consumer.  This bounds end-to-end staleness
+    (how far training lags the simulation) rather than just queue memory.
+    """
+
+    name = "pipelined"
+
+    def __init__(self, max_in_flight: Optional[int] = None,
+                 join_timeout: float = 300.0, wait_timeout: float = 60.0) -> None:
+        super().__init__(join_timeout=join_timeout)
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.max_in_flight = max_in_flight
+        self.wait_timeout = float(wait_timeout)
+
+    def _prepare(self, context: dict, session: "WorkflowSession") -> None:
+        limit = self.max_in_flight
+        if limit is None:
+            limit = max(2, min(b.queue_limit for b in session.brokers.values()))
+        context["max_in_flight"] = limit
+        context["condition"] = threading.Condition()
+        context["consumed_counts"] = {name: 0 for name in session.consumers}
+        context["dead_consumers"] = set()
+
+    def _in_flight(self, context: dict) -> int:
+        counts = [count for name, count in context["consumed_counts"].items()
+                  if name not in context["dead_consumers"]]
+        if not counts:
+            return 0  # nobody left to wait for
+        session = context["session"]
+        return session.producer.iterations_streamed - min(counts)
+
+    def _before_step(self, context: dict, index: int) -> None:
+        condition: threading.Condition = context["condition"]
+        with condition:
+            done = condition.wait_for(
+                lambda: self._in_flight(context) < context["max_in_flight"]
+                or context["abort"].is_set(),
+                timeout=self.wait_timeout)
+            if not done:
+                raise TimeoutError(
+                    "pipelined back-pressure stalled: no consumer drained the "
+                    f"stream for {self.wait_timeout:.0f} s")
+
+    def _consumer_extra(self, context: dict, name: str):
+        condition: threading.Condition = context["condition"]
+
+        def on_iteration(iteration_index: int, n_samples: int) -> None:
+            with condition:
+                context["consumed_counts"][name] += 1
+                condition.notify_all()
+        return on_iteration
+
+    def _consumer_died(self, context: dict, name: str) -> None:
+        condition: threading.Condition = context["condition"]
+        with condition:
+            context["dead_consumers"].add(name)
+            if len(context["dead_consumers"]) == len(context["consumed_counts"]):
+                context["abort"].set()
+            condition.notify_all()
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+_DRIVERS: Dict[str, Type[ExecutionDriver]] = {
+    SerialDriver.name: SerialDriver,
+    ThreadedDriver.name: ThreadedDriver,
+    PipelinedDriver.name: PipelinedDriver,
+}
+
+
+def available_drivers() -> tuple:
+    return tuple(sorted(_DRIVERS))
+
+
+def register_driver(name: str, driver_cls: Type[ExecutionDriver],
+                    overwrite: bool = False) -> None:
+    if name in _DRIVERS and not overwrite:
+        raise ValueError(f"driver {name!r} is already registered")
+    _DRIVERS[name] = driver_cls
+
+
+def get_driver(name: str, **kwargs) -> ExecutionDriver:
+    """Instantiate a driver by name (``serial``, ``threaded``, ``pipelined``)."""
+    try:
+        driver_cls = _DRIVERS[name]
+    except KeyError:
+        raise ValueError(f"unknown driver {name!r}; valid drivers: "
+                         f"{', '.join(available_drivers())}") from None
+    return driver_cls(**kwargs)

@@ -1,0 +1,129 @@
+"""Smoke tests driving ``repro.cli.main(argv)`` for every subcommand.
+
+The seed suite covered the original flags; these tests cover the full
+surface after the ``repro.workflow`` redesign — in particular the new
+``--preset`` / ``--driver`` / ``--config`` / ``--monitor`` run flags and
+the ``presets`` listing command.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.workflow import available_drivers, available_presets
+
+TINY = ["--grid", "6", "12", "2", "--particles-per-cell", "3", "--n-rep", "1"]
+
+
+class TestRunCommand:
+    @pytest.mark.parametrize("driver", available_drivers())
+    def test_run_with_every_driver(self, capsys, driver):
+        assert cli_main(["run", "--steps", "2", "--driver", driver] + TINY) == 0
+        out = capsys.readouterr().out
+        assert f"driver: {driver}" in out
+        assert "iterations_streamed" in out
+        if driver != "serial":
+            assert "max stream queue depth" in out
+
+    def test_run_with_preset_flag(self, capsys):
+        assert cli_main(["run", "--steps", "1", "--preset", "bench-tiny",
+                         "--n-rep", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "iterations_streamed" in out
+
+    def test_run_with_unknown_preset_prints_helpful_error(self, capsys):
+        assert cli_main(["run", "--steps", "1", "--preset", "warp-drive"]) == 2
+        err = capsys.readouterr().err
+        assert "warp-drive" in err
+        for name in available_presets():
+            assert name in err
+
+    def test_run_with_unknown_driver_prints_helpful_error(self, capsys):
+        assert cli_main(["run", "--steps", "1", "--driver", "quantum"] + TINY) == 2
+        err = capsys.readouterr().err
+        for name in available_drivers():
+            assert name in err
+
+    def test_run_with_missing_config_file_prints_error(self, capsys):
+        assert cli_main(["run", "--steps", "1",
+                         "--config", "/does/not/exist.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_with_config_file(self, capsys, tmp_path):
+        from repro.workflow import get_preset
+
+        config = get_preset("bench-tiny")
+        path = str(tmp_path / "workflow.json")
+        config.to_file(path)
+        assert cli_main(["run", "--steps", "1", "--config", path,
+                         "--n-rep", "1"]) == 0
+        assert "iterations_streamed" in capsys.readouterr().out
+
+    def test_run_with_monitor_consumer(self, capsys):
+        assert cli_main(["run", "--steps", "2", "--monitor"] + TINY) == 0
+        out = capsys.readouterr().out
+        assert "monitor consumer: 2 iterations" in out
+        assert "momentum histogram" in out
+
+    def test_run_threaded_alias_still_works(self, capsys):
+        assert cli_main(["run", "--steps", "2", "--threaded"] + TINY) == 0
+        out = capsys.readouterr().out
+        assert "driver: threaded" in out
+        assert "max stream queue depth" in out
+
+    def test_run_evaluate_and_checkpoint(self, capsys, tmp_path):
+        checkpoint = str(tmp_path / "ckpt")
+        assert cli_main(["run", "--steps", "3", "--evaluate",
+                         "--checkpoint", checkpoint] + TINY) == 0
+        out = capsys.readouterr().out
+        assert "predicted peak" in out
+        assert os.path.exists(os.path.join(checkpoint, "manifest.json"))
+
+
+class TestPresetsCommand:
+    def test_presets_lists_everything(self, capsys):
+        assert cli_main(["presets"]) == 0
+        out = capsys.readouterr().out
+        for name in available_presets():
+            assert name in out
+        for name in available_drivers():
+            assert name in out
+        assert "192x256x12" in out  # the paper preset's grid
+
+
+class TestStudyCommands:
+    def test_fom_scan(self, capsys):
+        assert cli_main(["fom-scan"]) == 0
+        assert "Frontier" in capsys.readouterr().out
+
+    def test_streaming_study(self, capsys):
+        assert cli_main(["streaming-study"]) == 0
+        assert "libfabric" in capsys.readouterr().out
+
+    def test_streaming_study_custom_bytes(self, capsys):
+        assert cli_main(["streaming-study", "--bytes-per-node", "1e9"]) == 0
+        assert "mpi" in capsys.readouterr().out
+
+    def test_ddp_scan(self, capsys):
+        assert cli_main(["ddp-scan", "--nodes", "8", "16"]) == 0
+        assert "deficit attribution" in capsys.readouterr().out
+
+    def test_khi_info(self, capsys):
+        assert cli_main(["khi-info"]) == 0
+        assert "beta = 0.2" in capsys.readouterr().out
+
+    def test_placement(self, capsys):
+        assert cli_main(["placement", "--nodes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "intra_node" in out and "inter_node" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main(["transmogrify"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main([])

@@ -1,0 +1,192 @@
+"""Tests of the composable WorkflowBuilder / WorkflowSession API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workflow import (HistogramMonitorConsumer, WorkflowBuilder,
+                            WorkflowSession, available_consumers,
+                            get_consumer_factory, register_consumer)
+from tests.core.test_artificial_scientist import tiny_config
+
+
+def build_session(n_rep=1, driver="serial", **builder_calls):
+    return WorkflowBuilder().config(tiny_config(n_rep=n_rep)).driver(driver).build()
+
+
+class TestSessionBasics:
+    def test_run_returns_uniform_result(self):
+        result = build_session(n_rep=2).run(3)
+        assert result.ok
+        assert result.driver == "serial"
+        report = result.report
+        assert report.iterations_streamed == 3
+        assert report.samples_streamed == 12
+        assert report.training_iterations == 6
+        assert "mlapp" in result.consumer_summaries
+        assert result.consumer_summaries["mlapp"]["training_iterations"] == 6
+
+    def test_session_matches_seed_accounting(self):
+        """The session with default wiring reproduces the seed facade exactly."""
+        from repro.core import ArtificialScientist
+
+        facade_report = ArtificialScientist(tiny_config(n_rep=1)).run(3)
+        session_report = build_session(n_rep=1).run(3).report
+        assert session_report.iterations_streamed == facade_report.iterations_streamed
+        assert session_report.samples_streamed == facade_report.samples_streamed
+        assert session_report.training_iterations == facade_report.training_iterations
+        np.testing.assert_allclose(session_report.loss_history_total,
+                                   facade_report.loss_history_total)
+
+    def test_run_twice_raises_session_already_consumed(self):
+        session = build_session()
+        session.run(2)
+        with pytest.raises(RuntimeError, match="session already consumed"):
+            session.run(1)
+
+    def test_facade_run_twice_raises(self):
+        from repro.core import ArtificialScientist
+
+        scientist = ArtificialScientist(tiny_config())
+        scientist.run(2)
+        with pytest.raises(RuntimeError, match="session already consumed"):
+            scientist.run(1)
+
+    def test_invalid_steps(self):
+        session = build_session()
+        with pytest.raises(ValueError):
+            session.run(0)
+        # a failed validation does not consume the session
+        assert not session.consumed
+        assert session.run(1).ok
+
+    def test_evaluate_after_run(self):
+        session = build_session()
+        session.run(3, keep_for_evaluation=2)
+        report = session.evaluate(n_posterior_samples=2)
+        assert report.n_evaluation_samples > 0
+
+    def test_builder_preset_and_driver_names(self):
+        session = (WorkflowBuilder().preset("bench-tiny")
+                   .driver("threaded").build())
+        assert session.driver.name == "threaded"
+        assert session.config.ml.model.n_input_points == 48
+
+    def test_builder_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="valid presets"):
+            WorkflowBuilder().preset("gigantic")
+        with pytest.raises(ValueError, match="valid drivers"):
+            WorkflowBuilder().driver("quantum")
+        with pytest.raises(ValueError, match="valid kinds"):
+            WorkflowBuilder().add_consumer("x", kind="does-not-exist")
+
+
+class TestFanOut:
+    def test_two_consumers_see_every_iteration(self):
+        session = (WorkflowBuilder().config(tiny_config(n_rep=1))
+                   .driver("serial")
+                   .add_consumer("monitor", kind="histogram-monitor")
+                   .build())
+        result = session.run(4)
+        assert result.ok
+        assert result.report.iterations_streamed == 4
+        monitor = session.consumers["monitor"]
+        assert isinstance(monitor, HistogramMonitorConsumer)
+        assert monitor.iterations_consumed == 4
+        assert monitor.samples_consumed == result.report.samples_streamed
+        assert sum(monitor.momentum_counts) > 0
+        # the trainer is unaffected by the second consumer
+        assert result.report.training_iterations == 4
+
+    def test_consumers_get_isolated_buffers(self):
+        """A consumer mutating its loaded arrays must not affect the trainer."""
+        class VandalConsumer(HistogramMonitorConsumer):
+            def consume(self, max_iterations=None, on_iteration=None):
+                consumed = 0
+                for iteration in self.series.read_iterations():
+                    records = iteration.get_particles("ml_samples")
+                    clouds = records["point_clouds"].load_scalar()
+                    np.asarray(clouds)[...] = 1e9  # corrupt in place
+                    self.iterations_consumed += 1
+                    consumed += 1
+                    if max_iterations and consumed >= max_iterations:
+                        break
+                return consumed
+
+        def run_losses(with_vandal):
+            builder = WorkflowBuilder().config(tiny_config(n_rep=1)).driver("serial")
+            if with_vandal:
+                builder.add_consumer("vandal", factory=lambda name, series, s, rng:
+                                     VandalConsumer(name, series))
+            result = builder.build().run(3)
+            assert result.ok
+            return result.report.loss_history_total
+
+        np.testing.assert_array_equal(run_losses(True), run_losses(False))
+
+    def test_duplicate_consumer_names_rejected(self):
+        builder = (WorkflowBuilder().config(tiny_config())
+                   .add_consumer("mlapp", kind="histogram-monitor"))
+        with pytest.raises(ValueError, match="duplicate consumer names"):
+            builder.build()
+
+    def test_custom_consumer_registration(self):
+        seen = []
+
+        class CountingConsumer(HistogramMonitorConsumer):
+            def consume(self, max_iterations=None, on_iteration=None):
+                consumed = super().consume(max_iterations, on_iteration)
+                seen.append(consumed)
+                return consumed
+
+        register_consumer("counting", lambda name, series, session, rng:
+                          CountingConsumer(name, series), overwrite=True)
+        try:
+            assert "counting" in available_consumers()
+            session = (WorkflowBuilder().config(tiny_config())
+                       .add_consumer("counter", kind="counting").build())
+            assert session.run(2).ok
+            assert sum(seen) == 2
+            assert get_consumer_factory("counting") is not None
+        finally:
+            from repro.workflow import consumers
+            consumers._CONSUMER_FACTORIES.pop("counting", None)
+
+
+class TestHooks:
+    def test_lifecycle_hooks_fire(self):
+        events = {"steps": [], "iterations": [], "run_end": []}
+        session = (
+            WorkflowBuilder().config(tiny_config())
+            .on_step(lambda s, i: events["steps"].append(i))
+            .on_iteration_consumed(
+                lambda s, name, index, n: events["iterations"].append((name, index, n)))
+            .on_run_end(lambda s, result: events["run_end"].append(result))
+            .build())
+        result = session.run(3)
+        assert events["steps"] == [0, 1, 2]
+        assert len(events["iterations"]) == 3
+        assert all(name == "mlapp" and n == 4 for name, _, n in events["iterations"])
+        assert events["run_end"] == [result]
+
+    def test_iteration_hook_fires_per_consumer(self):
+        names = []
+        session = (
+            WorkflowBuilder().config(tiny_config())
+            .add_consumer("monitor", kind="histogram-monitor")
+            .on_iteration_consumed(lambda s, name, index, n: names.append(name))
+            .build())
+        assert session.run(2).ok
+        assert names.count("mlapp") == 2
+        assert names.count("monitor") == 2
+
+
+class TestSessionAccessors:
+    def test_seed_compatible_surface(self):
+        session = build_session()
+        assert session.broker is session.brokers["mlapp"]
+        assert session.mlapp is session.consumers["mlapp"].mlapp
+        assert session.model is session.mlapp.model
+        assert session.reader_series is session.consumer_series["mlapp"]
+        assert session.primary_name == WorkflowSession.PRIMARY_CONSUMER

@@ -1,0 +1,156 @@
+"""Tests of the execution-driver strategy layer (serial/threaded/pipelined)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ArtificialScientist
+from repro.core.threaded import ThreadedWorkflowRunner
+from repro.workflow import (PipelinedDriver, WorkflowBuilder, available_drivers,
+                            get_driver)
+from tests.core.test_artificial_scientist import tiny_config
+
+
+def run_with(driver, n_steps=3, n_rep=1, **kwargs):
+    session = (WorkflowBuilder().config(tiny_config(n_rep=n_rep))
+               .driver(driver, **kwargs).build())
+    return session.run(n_steps)
+
+
+class TestDriverParity:
+    @pytest.mark.parametrize("driver", available_drivers())
+    def test_every_driver_same_schema_and_accounting(self, driver):
+        result = run_with(driver)
+        assert result.ok, (result.producer_exception, result.consumer_exceptions)
+        assert result.driver == driver
+        report = result.report
+        assert report.iterations_streamed == 3
+        assert report.samples_streamed == 12
+        assert report.training_iterations == 3
+        assert report.bytes_streamed > 0
+        assert report.final_losses["total"] > 0
+
+    def test_all_drivers_identical_summary_keys(self):
+        summaries = [set(run_with(d).report.summary()) for d in available_drivers()]
+        assert all(keys == summaries[0] for keys in summaries)
+        results = [run_with(d) for d in available_drivers()]
+        assert all(set(r.summary()) == set(results[0].summary()) for r in results)
+
+    def test_queue_depth_respects_limit(self):
+        result = run_with("threaded", n_steps=4)
+        session_limit = tiny_config().streaming.queue_limit
+        assert 0 <= result.max_queue_depth <= session_limit
+
+    def test_pipelined_bounds_in_flight(self):
+        result = run_with("pipelined", n_steps=5, max_in_flight=2)
+        assert result.ok
+        assert result.report.iterations_streamed == 5
+        assert result.queue_depth_samples  # the timeline is recorded
+        assert max(result.queue_depth_samples) <= 2
+
+    def test_pipelined_rejects_bad_in_flight(self):
+        with pytest.raises(ValueError):
+            PipelinedDriver(max_in_flight=0)
+
+    def test_get_driver_error_lists_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_driver("warp")
+        for name in available_drivers():
+            assert name in str(excinfo.value)
+
+
+class TestFailureSurfacing:
+    def test_producer_failure_is_captured_not_raised(self):
+        session = WorkflowBuilder().config(tiny_config()).driver("threaded").build()
+        boom = RuntimeError("simulated producer crash")
+
+        def exploding_step():
+            raise boom
+        session.simulation.step = exploding_step
+        result = session.run(3)
+        assert result.producer_exception is boom
+        assert not result.consumer_exceptions
+
+    def test_consumer_failure_is_captured_per_name(self):
+        session = WorkflowBuilder().config(tiny_config()).driver("serial").build()
+        boom = RuntimeError("simulated consumer crash")
+
+        def exploding_consume(max_iterations=None, on_iteration=None):
+            raise boom
+        session.consumers["mlapp"].consume = exploding_consume
+        result = session.run(2)
+        assert result.consumer_exceptions == {"mlapp": boom}
+        assert not result.ok
+        # the secondary "no live consumers left" stream shutdown must not be
+        # misreported as a producer failure (it would mask the root cause)
+        assert result.producer_exception is None
+        with pytest.raises(RuntimeError, match="simulated consumer crash"):
+            result.raise_if_failed()
+
+    def test_both_failures_surfaced_together(self):
+        session = WorkflowBuilder().config(tiny_config()).driver("threaded").build()
+
+        def exploding_step():
+            raise RuntimeError("producer crash")
+
+        def exploding_consume(max_iterations=None, on_iteration=None):
+            raise RuntimeError("consumer crash")
+        session.simulation.step = exploding_step
+        session.consumers["mlapp"].consume = exploding_consume
+        result = session.run(2)
+        assert isinstance(result.producer_exception, RuntimeError)
+        assert isinstance(result.consumer_exceptions.get("mlapp"), RuntimeError)
+        with pytest.raises(RuntimeError):
+            result.raise_if_failed()
+
+    def test_surviving_consumer_keeps_stream_alive(self):
+        """One consumer dying must not starve the other (fan-out resilience)."""
+        session = (WorkflowBuilder().config(tiny_config())
+                   .driver("threaded")
+                   .add_consumer("monitor", kind="histogram-monitor")
+                   .build())
+
+        def exploding_consume(max_iterations=None, on_iteration=None):
+            raise RuntimeError("monitor crash")
+        session.consumers["monitor"].consume = exploding_consume
+        result = session.run(3)
+        assert "monitor" in result.consumer_exceptions
+        assert result.producer_exception is None
+        assert result.report.iterations_streamed == 3
+        assert result.report.training_iterations == 3
+
+
+class TestLegacyThreadedRunner:
+    def test_seed_result_still_produced(self):
+        runner = ThreadedWorkflowRunner(ArtificialScientist(tiny_config(n_rep=1)))
+        result = runner.run(3)
+        assert result.ok
+        assert result.consumer_exception is None
+        assert result.report.iterations_streamed == 3
+
+    def test_runner_surfaces_both_exceptions(self):
+        scientist = ArtificialScientist(tiny_config())
+        producer_boom = RuntimeError("producer crash")
+        consumer_boom = RuntimeError("consumer crash")
+
+        def exploding_step():
+            raise producer_boom
+
+        def exploding_consume(max_iterations=None, keep_for_evaluation=0,
+                              on_iteration=None):
+            raise consumer_boom
+        scientist.simulation.step = exploding_step
+        scientist.mlapp.consume = exploding_consume
+        result = ThreadedWorkflowRunner(scientist).run(2)
+        assert result.producer_exception is producer_boom
+        assert result.consumer_exception is consumer_boom
+        assert not result.ok
+
+    def test_runner_marks_session_consumed(self):
+        scientist = ArtificialScientist(tiny_config(n_rep=1))
+        runner = ThreadedWorkflowRunner(scientist)
+        runner.run(2)
+        with pytest.raises(RuntimeError, match="session already consumed"):
+            scientist.run(1)
+        with pytest.raises(RuntimeError, match="session already consumed"):
+            runner.run(1)
