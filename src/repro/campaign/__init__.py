@@ -1,0 +1,59 @@
+"""repro.campaign — parameter-sweep & ensemble campaigns over workflow sessions.
+
+The paper's Artificial Scientist pays off when the coupled simulation +
+in-transit-learning loop runs at scale across many physics scenarios, not
+as one hand-launched session.  This subsystem turns one declarative
+:class:`CampaignSpec` into a fleet of :mod:`repro.workflow` runs:
+
+* :mod:`repro.campaign.spec`      — grid/random/explicit sampling over
+  dotted ``WorkflowConfig`` overrides with deterministic per-run seeds,
+* :mod:`repro.campaign.scheduler` — pluggable executors (serial / thread /
+  process pools) with bounded concurrency, per-run timeout/retry and
+  captured exceptions, plus :func:`run_campaign` tying everything together,
+* :mod:`repro.campaign.store`     — the append-only JSONL result log keyed
+  by run-id hash that makes campaigns resumable,
+* :mod:`repro.campaign.aggregate` — the campaign-level report (per-parameter
+  stats, best-run selection, throughput),
+* :mod:`repro.campaign.presets`   — named campaigns (``campaign-smoke``).
+
+CLI access: ``python -m repro.cli campaign run|status|report``.
+"""
+
+from repro.campaign.aggregate import CampaignReport, aggregate
+from repro.campaign.presets import (available_campaign_presets,
+                                    get_campaign_preset,
+                                    register_campaign_preset)
+from repro.campaign.scheduler import (CampaignExecutor, CampaignOutcome,
+                                      ProcessPoolCampaignExecutor,
+                                      SerialExecutor,
+                                      ThreadPoolCampaignExecutor,
+                                      available_executors, execute_run,
+                                      get_executor, register_executor,
+                                      run_campaign)
+from repro.campaign.spec import (CampaignSpec, RunSpec, apply_override,
+                                 run_id_of)
+from repro.campaign.store import CampaignStore, RunRecord
+
+__all__ = [
+    "CampaignSpec",
+    "RunSpec",
+    "apply_override",
+    "run_id_of",
+    "CampaignStore",
+    "RunRecord",
+    "CampaignExecutor",
+    "SerialExecutor",
+    "ThreadPoolCampaignExecutor",
+    "ProcessPoolCampaignExecutor",
+    "available_executors",
+    "get_executor",
+    "register_executor",
+    "execute_run",
+    "run_campaign",
+    "CampaignOutcome",
+    "CampaignReport",
+    "aggregate",
+    "available_campaign_presets",
+    "get_campaign_preset",
+    "register_campaign_preset",
+]

@@ -1,0 +1,325 @@
+"""Campaign execution: pluggable executors over resolved workflow runs.
+
+The scheduler owns the mechanics the spec deliberately leaves out: *how*
+the resolved runs get executed.  Executors share one contract —
+``execute(payloads, worker, on_record)`` returns one
+:class:`repro.campaign.store.RunRecord` per payload, with per-run retry,
+a cooperative wall-clock timeout and every exception captured into the
+record instead of raised — so future scaling work (sharded executors,
+remote workers, result caching) only has to implement this interface.
+
+* :class:`SerialExecutor`      — one run after another, in process,
+* :class:`ThreadPoolCampaignExecutor`  — bounded thread fan-out; the
+  coupled runs spend much of their time in numpy kernels that release the
+  GIL, so tiny sweeps already overlap usefully,
+* :class:`ProcessPoolCampaignExecutor` — bounded process fan-out for real
+  CPU parallelism (the worker and payloads are picklable by construction).
+
+The timeout is *cooperative*: an in-flight run is never killed (neither
+threads nor in-process work can be interrupted safely).  It budgets the
+whole run including retries: a failing attempt is only retried while wall
+time remains, and a successful attempt is always recorded completed — over
+budget it keeps its result, annotated with a ``TimeoutWarning`` (discarding
+finished work would re-execute it on every resume, forever).
+
+:func:`run_campaign` ties spec, store and executor together: resolve the
+spec, skip run ids the store already completed, execute the rest, append
+each record as it finishes.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
+    ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import (CampaignStore, RunRecord, STATUS_COMPLETED,
+                                  STATUS_FAILED)
+
+#: Executes one resolved run payload and returns a JSON-able summary dict.
+RunWorker = Callable[[Dict[str, object]], Dict[str, object]]
+#: Observes each record as it is produced (progress reporting, store append).
+RecordCallback = Callable[[RunRecord], None]
+
+
+def execute_run(payload: Dict[str, object]) -> Dict[str, object]:
+    """Default worker: one coupled workflow run from a resolved payload.
+
+    Module-level (hence picklable) so the process-pool executor can ship it
+    to workers by reference.  Returns the uniform ``RunResult.summary()``.
+    """
+    from repro.core.config import WorkflowConfig
+    from repro.workflow import WorkflowBuilder
+
+    config = WorkflowConfig.from_dict(payload["config"])
+    session = (WorkflowBuilder().config(config)
+               .driver(payload["driver"]).build())
+    result = session.run(int(payload["n_steps"]))
+    result.raise_if_failed()
+    return result.summary()
+
+
+def _attempt_run(payload: Dict[str, object], worker: RunWorker,
+                 retries: int, timeout: Optional[float]) -> RunRecord:
+    """Run one payload with retry + cooperative timeout, capturing failures.
+
+    ``timeout`` budgets the *whole run* including retries: a failing attempt
+    is only retried while wall time is left.  A successful attempt is always
+    recorded completed; over budget its record carries a ``TimeoutWarning``
+    but the result is kept.
+    """
+    attempts = 0
+    error: Optional[str] = None
+    summary: Dict[str, object] = {}
+    status = STATUS_FAILED
+    started = time.perf_counter()
+
+    def budget_spent() -> bool:
+        return (timeout is not None
+                and time.perf_counter() - started > timeout)
+
+    while attempts <= retries:
+        attempts += 1
+        try:
+            summary = worker(payload)
+        except BaseException as exc:  # noqa: BLE001 - captured in the record
+            error = f"{type(exc).__name__}: {exc}"
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            if budget_spent():
+                break
+            continue
+        status = STATUS_COMPLETED
+        total = time.perf_counter() - started
+        if timeout is not None and total > timeout:
+            # the work is done — discarding it (and re-running forever on
+            # resume) helps nobody; keep the result, annotate the overrun
+            error = (f"TimeoutWarning: run exceeded the {timeout:.1f} s "
+                     f"budget ({total:.1f} s across {attempts} attempt(s)); "
+                     f"result kept")
+        else:
+            error = None
+        break
+    return RunRecord(run_id=payload["run_id"], index=payload["index"],
+                     params=dict(payload["params"]), driver=payload["driver"],
+                     n_steps=int(payload["n_steps"]), status=status,
+                     attempts=attempts,
+                     elapsed_s=time.perf_counter() - started,
+                     error=error, summary=summary)
+
+
+class CampaignExecutor:
+    """Strategy interface: execute resolved run payloads into records."""
+
+    name: str = "abstract"
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 timeout: Optional[float] = None, retries: int = 0) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.max_workers = max_workers
+        self.timeout = timeout
+        self.retries = int(retries)
+
+    def execute(self, payloads: Sequence[Dict[str, object]], worker: RunWorker,
+                on_record: Optional[RecordCallback] = None) -> List[RunRecord]:
+        raise NotImplementedError
+
+
+class SerialExecutor(CampaignExecutor):
+    """One run after another in the calling process (deterministic order)."""
+
+    name = "serial"
+
+    def execute(self, payloads, worker, on_record=None):
+        records = []
+        for payload in payloads:
+            record = _attempt_run(payload, worker, self.retries, self.timeout)
+            records.append(record)
+            if on_record is not None:
+                on_record(record)
+        return records
+
+
+class _PoolExecutorBase(CampaignExecutor):
+    """Shared bounded-pool scaffolding of the concurrent executors."""
+
+    default_workers = 4
+    pool_cls: type = None  # type: ignore[assignment]
+
+    def execute(self, payloads, worker, on_record=None):
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        n_workers = min(self.max_workers or self.default_workers, len(payloads))
+        by_future = {}
+        futures = []
+        with self.pool_cls(max_workers=n_workers) as pool:
+            for payload in payloads:
+                future = pool.submit(_attempt_run, payload, worker,
+                                     self.retries, self.timeout)
+                by_future[future] = payload
+                futures.append(future)
+            records = {}
+            pending = set(by_future)
+            try:
+                self._drain(pending, by_future, records, on_record)
+            except BaseException:
+                # abort (Ctrl-C, store write failure, ...): stop queued runs
+                # instead of silently executing — and discarding — them all
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+        # hand records back in submission order regardless of completion order
+        return [records[future] for future in futures]
+
+    @staticmethod
+    def _drain(pending, by_future, records, on_record):
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                payload = by_future[future]
+                try:
+                    record = future.result()
+                except (KeyboardInterrupt, SystemExit):
+                    # _attempt_run re-raised it in the worker so the
+                    # campaign aborts — don't log it as a failed run
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - pool infrastructure died
+                    record = RunRecord(
+                        run_id=payload["run_id"], index=payload["index"],
+                        params=dict(payload["params"]),
+                        driver=payload["driver"],
+                        n_steps=int(payload["n_steps"]),
+                        status=STATUS_FAILED, attempts=1,
+                        error=f"{type(exc).__name__}: {exc}")
+                # keyed by future, not run_id: duplicate run ids in the
+                # payload list must each keep their own record
+                records[future] = record
+                if on_record is not None:
+                    on_record(record)
+
+
+class ThreadPoolCampaignExecutor(_PoolExecutorBase):
+    """Bounded thread fan-out (shared memory, GIL-released numpy kernels)."""
+
+    name = "thread"
+    pool_cls = ThreadPoolExecutor
+
+
+class ProcessPoolCampaignExecutor(_PoolExecutorBase):
+    """Bounded process fan-out: real CPU parallelism for bigger sweeps."""
+
+    name = "process"
+    pool_cls = ProcessPoolExecutor
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+_EXECUTORS: Dict[str, Type[CampaignExecutor]] = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadPoolCampaignExecutor.name: ThreadPoolCampaignExecutor,
+    ProcessPoolCampaignExecutor.name: ProcessPoolCampaignExecutor,
+}
+
+
+def available_executors() -> tuple:
+    return tuple(sorted(_EXECUTORS))
+
+
+def register_executor(name: str, executor_cls: Type[CampaignExecutor],
+                      overwrite: bool = False) -> None:
+    """Register a campaign executor (the hook for sharded/remote backends)."""
+    if name in _EXECUTORS and not overwrite:
+        raise ValueError(f"executor {name!r} is already registered")
+    _EXECUTORS[name] = executor_cls
+
+
+def get_executor(name: str, **kwargs) -> CampaignExecutor:
+    """Instantiate an executor by name (``serial``, ``thread``, ``process``)."""
+    try:
+        executor_cls = _EXECUTORS[name]
+    except KeyError:
+        raise ValueError(f"unknown executor {name!r}; valid executors: "
+                         f"{', '.join(available_executors())}") from None
+    return executor_cls(**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# the engine: spec + store + executor
+# --------------------------------------------------------------------------- #
+@dataclass
+class CampaignOutcome:
+    """What one campaign launch did (not necessarily the whole campaign)."""
+
+    campaign: str
+    total_runs: int                 #: resolved size of the campaign
+    skipped: int                    #: already complete in the store
+    executed: int                   #: runs attempted by this launch
+    completed: int
+    failed: int
+    deferred: int = 0               #: pending runs left out by ``max_runs``
+    records: List[RunRecord] = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        """Whether the whole campaign is now complete."""
+        return self.skipped + self.completed == self.total_runs
+
+    def summary(self) -> Dict[str, object]:
+        return {"campaign": self.campaign, "total_runs": self.total_runs,
+                "skipped": self.skipped, "executed": self.executed,
+                "completed": self.completed, "failed": self.failed,
+                "deferred": self.deferred, "done": self.done}
+
+
+def run_campaign(spec: CampaignSpec, store: CampaignStore,
+                 executor: Optional[CampaignExecutor] = None,
+                 worker: RunWorker = execute_run,
+                 max_runs: Optional[int] = None,
+                 on_record: Optional[RecordCallback] = None,
+                 runs=None, completed_ids=None) -> CampaignOutcome:
+    """Execute (or resume) a campaign: run whatever the store has not completed.
+
+    Every finished run is appended to the store immediately, so a campaign
+    interrupted mid-launch resumes from the last completed run.  Failed runs
+    are *not* skipped on re-launch — they get a fresh chance.  ``max_runs``
+    bounds how many pending runs this launch attempts (useful for smoke
+    tests and for deliberately staged campaigns).  ``runs`` /
+    ``completed_ids`` accept the spec's already-resolved run list and the
+    store's completed-id set so callers that computed them for reporting
+    don't pay for resolution or a store re-read twice.
+    """
+    executor = executor or SerialExecutor()
+    runs = spec.resolve() if runs is None else runs
+    done_ids = store.completed_run_ids() if completed_ids is None \
+        else completed_ids
+    pending = [run for run in runs if run.run_id not in done_ids]
+    skipped = len(runs) - len(pending)
+    deferred = 0
+    if max_runs is not None:
+        if max_runs < 0:
+            raise ValueError("max_runs must be >= 0")
+        deferred = max(0, len(pending) - max_runs)
+        pending = pending[:max_runs]
+
+    def record_and_store(record: RunRecord) -> None:
+        store.append(record)
+        if on_record is not None:
+            on_record(record)
+
+    records = executor.execute([run.payload() for run in pending], worker,
+                               on_record=record_and_store)
+    completed = sum(1 for record in records if record.completed)
+    return CampaignOutcome(campaign=spec.name, total_runs=len(runs),
+                           skipped=skipped, executed=len(records),
+                           completed=completed,
+                           failed=len(records) - completed,
+                           deferred=deferred, records=records)

@@ -5,7 +5,11 @@ script) exposes the main entry points of the reproduction:
 
 * ``run``              — run the coupled in-transit workflow
   (``--preset``/``--driver``/``--config``/``--monitor`` select the
-  workflow configuration, execution strategy and extra consumers),
+  workflow configuration, execution strategy and extra consumers;
+  ``--json`` emits the machine-readable ``RunResult`` dump),
+* ``campaign``         — parameter-sweep / ensemble campaigns over many
+  workflow runs (``campaign run|status|report``, see
+  :mod:`repro.campaign`),
 * ``presets``          — list the named workflow presets and drivers,
 * ``fom-scan``         — regenerate the Fig. 4 FOM weak-scaling table,
 * ``streaming-study``  — regenerate the Fig. 6 streaming-throughput table,
@@ -21,10 +25,27 @@ with the chosen execution driver.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-import numpy as np
+from repro.utils.serialization import jsonable as _jsonable
+
+
+def _run_result_payload(result) -> Dict[str, object]:
+    """The machine-readable ``run --json`` dump of one RunResult.
+
+    Raw (may still hold numpy types) — the print site owns the single
+    ``_jsonable`` coercion pass, after any extra keys are appended.
+    """
+    payload = dict(result.summary())
+    payload["consumer_summaries"] = result.consumer_summaries
+    payload["producer_exception"] = (None if result.producer_exception is None
+                                     else str(result.producer_exception))
+    payload["consumer_exceptions"] = {name: str(error) for name, error
+                                      in result.consumer_exceptions.items()}
+    return payload
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -61,6 +82,48 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="print the Fig. 9-style inversion report after the run")
     run.add_argument("--checkpoint", type=str, default=None,
                      help="directory to write a model/buffer checkpoint to")
+    run.add_argument("--json", action="store_true",
+                     help="print the machine-readable RunResult dump instead "
+                          "of the human-readable summary")
+
+    campaign = sub.add_parser(
+        "campaign", help="parameter-sweep / ensemble campaigns over workflow runs")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def add_campaign_selectors(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--spec", type=str, default=None,
+                            help="CampaignSpec JSON file")
+        parser.add_argument("--preset", type=str, default=None,
+                            help="named campaign preset (e.g. campaign-smoke)")
+        parser.add_argument("--store", type=str, default=None,
+                            help="JSONL result store path "
+                                 "(default: <campaign-name>.campaign.jsonl)")
+        parser.add_argument("--json", action="store_true",
+                            help="machine-readable JSON output")
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run (or resume) a campaign; completed runs are skipped")
+    add_campaign_selectors(campaign_run)
+    campaign_run.add_argument("--executor", type=str, default="serial",
+                              help="campaign executor: serial (default), "
+                                   "thread or process")
+    campaign_run.add_argument("--max-workers", type=int, default=None,
+                              help="bounded concurrency of the pool executors")
+    campaign_run.add_argument("--timeout", type=float, default=None,
+                              help="per-run wall-clock budget in seconds, "
+                                   "covering retries (cooperative: checked "
+                                   "after each attempt finishes, never kills "
+                                   "an in-flight run; a successful over-"
+                                   "budget run keeps its result)")
+    campaign_run.add_argument("--retries", type=int, default=0,
+                              help="retries per failing run")
+    campaign_run.add_argument("--max-runs", type=int, default=None,
+                              help="execute at most this many pending runs")
+
+    add_campaign_selectors(campaign_sub.add_parser(
+        "status", help="pending/completed/failed counts of a campaign"))
+    add_campaign_selectors(campaign_sub.add_parser(
+        "report", help="aggregate the campaign's recorded runs"))
 
     sub.add_parser("presets", help="list the workflow presets and drivers")
 
@@ -135,15 +198,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for name, error in result.consumer_exceptions.items():
         print(f"consumer {name!r} failed: {error}", file=sys.stderr)
     if not result.ok:
+        if args.json:
+            print(json.dumps(_jsonable(_run_result_payload(result)), indent=2))
         return 1
 
-    print(f"driver: {result.driver}")
-    if result.driver != "serial":
-        print(f"max stream queue depth: {result.max_queue_depth}")
-    for key, value in result.report.summary().items():
-        print(f"{key:>24}: {value}")
+    payload = _run_result_payload(result) if args.json else None
+    if not args.json:
+        print(f"driver: {result.driver}")
+        if result.driver != "serial":
+            print(f"max stream queue depth: {result.max_queue_depth}")
+        for key, value in result.report.summary().items():
+            print(f"{key:>24}: {value}")
 
-    if args.monitor:
+    if args.monitor and not args.json:
         monitor = result.consumer_summaries["monitor"]
         print(f"\nmonitor consumer: {monitor['iterations_consumed']} iterations, "
               f"{monitor['samples_consumed']} samples")
@@ -151,18 +218,163 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.evaluate:
         evaluation = session.evaluate()
-        print("\nregion, true peak, predicted peak, histogram L1")
-        for row in evaluation.rows():
-            print(f"{row['region']:>12}, {row['true_peak']:+.3f}, "
-                  f"{row['predicted_peak']:+.3f}, {row['histogram_l1']:.3f}")
+        if args.json:
+            payload["evaluation"] = evaluation.rows()
+        else:
+            print("\nregion, true peak, predicted peak, histogram L1")
+            for row in evaluation.rows():
+                print(f"{row['region']:>12}, {row['true_peak']:+.3f}, "
+                      f"{row['predicted_peak']:+.3f}, {row['histogram_l1']:.3f}")
 
     if args.checkpoint:
         from repro.core.checkpoint import save_checkpoint
         info = save_checkpoint(args.checkpoint, session.model,
                                session.mlapp.trainer, step=args.steps)
-        print(f"\ncheckpoint written to {info.directory} "
-              f"({info.training_iterations} training iterations)")
+        if args.json:
+            payload["checkpoint"] = {
+                "directory": info.directory,
+                "training_iterations": info.training_iterations}
+        else:
+            print(f"\ncheckpoint written to {info.directory} "
+                  f"({info.training_iterations} training iterations)")
+    if args.json:
+        print(json.dumps(_jsonable(payload), indent=2))
     return 0
+
+
+# --------------------------------------------------------------------------- #
+def _campaign_spec(args: argparse.Namespace):
+    """Resolve the campaign spec from ``--spec`` / ``--preset``."""
+    from repro.campaign import CampaignSpec, get_campaign_preset
+
+    if args.spec and args.preset:
+        raise ValueError("pass either --spec or --preset, not both")
+    if args.spec:
+        return CampaignSpec.from_file(args.spec)
+    if args.preset:
+        return get_campaign_preset(args.preset)
+    raise ValueError("a campaign needs --spec FILE or --preset NAME "
+                     "(e.g. --preset campaign-smoke)")
+
+
+def _campaign_store(args: argparse.Namespace, spec):
+    from repro.campaign import CampaignStore
+
+    return CampaignStore(args.store or f"{spec.name}.campaign.jsonl")
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import get_executor, run_campaign
+
+    try:
+        if args.max_runs is not None and args.max_runs < 0:
+            raise ValueError("max_runs must be >= 0")
+        spec = _campaign_spec(args)
+        store = _campaign_store(args, spec)
+        executor = get_executor(args.executor, max_workers=args.max_workers,
+                                timeout=args.timeout, retries=args.retries)
+        runs = spec.resolve()
+        done_ids = store.completed_run_ids()
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    def progress(record) -> None:
+        if args.json:
+            return
+        loss = record.summary.get("final_total_loss")
+        detail = (f"loss {loss:.4f}" if isinstance(loss, float)
+                  else (record.error or ""))
+        print(f"  [{record.run_id}] {record.status:>9} "
+              f"in {record.elapsed_s:6.2f} s  {detail}")
+
+    if not args.json:
+        complete = len({run.run_id for run in runs} & done_ids)
+        print(f"campaign {spec.name!r}: {len(runs)} runs resolved "
+              f"({complete} already complete), "
+              f"executor {executor.name!r}, store {store.path}")
+    try:
+        outcome = run_campaign(spec, store, executor, max_runs=args.max_runs,
+                               on_record=progress, runs=runs,
+                               completed_ids=done_ids)
+    except OSError as error:
+        # e.g. the store became unwritable mid-campaign
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(_jsonable(outcome.summary()), indent=2))
+    else:
+        summary = outcome.summary()
+        print(", ".join(f"{key}: {summary[key]}" for key in
+                        ("total_runs", "skipped", "executed", "completed",
+                         "failed", "deferred", "done")))
+    return 0 if outcome.failed == 0 else 1
+
+
+def _campaign_records(args: argparse.Namespace):
+    """Spec, store and the spec-scoped records (shared by status/report).
+
+    Only this campaign's runs are kept — a shared or stale store may hold
+    records of other specs, which must not skew the numbers.
+    """
+    spec = _campaign_spec(args)
+    store = _campaign_store(args, spec)
+    runs = spec.resolve()
+    run_ids = {run.run_id for run in runs}
+    records = [record for record in store.records()
+               if record.run_id in run_ids]
+    return spec, store, runs, records
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    try:
+        spec, store, runs, records = _campaign_records(args)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    completed = sum(1 for record in records if record.completed)
+    status = {"campaign": spec.name, "store": store.path,
+              "total_runs": len(runs), "completed": completed,
+              "failed": len(records) - completed,
+              "pending": len(runs) - completed,
+              "done": completed == len(runs)}
+    if args.json:
+        print(json.dumps(status, indent=2))
+    else:
+        for key, value in status.items():
+            print(f"{key:>12}: {value}")
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign import aggregate
+
+    try:
+        spec, store, _, records = _campaign_records(args)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"error: no recorded runs of campaign {spec.name!r} in "
+              f"{store.path}; run the campaign first", file=sys.stderr)
+        return 2
+    report = aggregate(records, campaign=spec.name)
+    if args.json:
+        print(json.dumps(_jsonable(report.to_dict()), indent=2))
+    else:
+        print(report.format_text())
+    return 0
+
+
+_CAMPAIGN_COMMANDS = {
+    "run": _cmd_campaign_run,
+    "status": _cmd_campaign_status,
+    "report": _cmd_campaign_report,
+}
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    return _CAMPAIGN_COMMANDS[args.campaign_command](args)
 
 
 def _cmd_presets(_: argparse.Namespace) -> int:
@@ -265,6 +477,7 @@ def _cmd_placement(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "campaign": _cmd_campaign,
     "presets": _cmd_presets,
     "fom-scan": _cmd_fom_scan,
     "streaming-study": _cmd_streaming_study,
@@ -282,4 +495,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # e.g. `... campaign report | head`: the reader closed the pipe —
+        # not an error worth a traceback
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

@@ -35,6 +35,7 @@ from repro.streaming.broker import SSTBroker
 from repro.streaming.dataplane import DataPlane, InMemoryDataPlane
 from repro.streaming.step import Step, StepStatus
 from repro.streaming.variable import Block, Variable
+from repro.utils.serialization import jsonable
 
 
 class EndOfStreamError(RuntimeError):
@@ -195,7 +196,10 @@ class FileWriterEngine(_StepWriterMixin):
                 layout[name][str(rank)] = {"offset": list(block.offset)}
         np.savez(self._array_path(step.index), **arrays)
         with open(self._meta_path(step.index), "w", encoding="utf-8") as handle:
-            json.dump({"index": step.index, "attributes": _jsonable(step.attributes),
+            # strict=False: this metadata is a Python-internal round-trip and
+            # a non-finite attribute (diverged diagnostic) must stay nan
+            json.dump({"index": step.index,
+                       "attributes": jsonable(step.attributes, strict=False),
                        "layout": layout}, handle)
         self._written_steps.append(step.index)
         return step
@@ -277,16 +281,3 @@ class FileReaderEngine:
 
     def close(self) -> None:
         self._current = None
-
-
-def _jsonable(attributes: Dict[str, object]) -> Dict[str, object]:
-    """Convert attribute values to JSON-serialisable types."""
-    out: Dict[str, object] = {}
-    for key, value in attributes.items():
-        if isinstance(value, np.generic):
-            out[key] = value.item()
-        elif isinstance(value, np.ndarray):
-            out[key] = value.tolist()
-        else:
-            out[key] = value
-    return out

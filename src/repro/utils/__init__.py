@@ -1,6 +1,7 @@
-"""Shared utilities: deterministic RNG handling, timers and validation."""
+"""Shared utilities: deterministic RNG, timers, validation, serialisation."""
 
 from repro.utils.rng import RandomState, seeded_rng, spawn_rngs
+from repro.utils.serialization import jsonable
 from repro.utils.timer import Timer, WallClock, timed
 from repro.utils.validation import (
     check_array,
@@ -13,6 +14,7 @@ __all__ = [
     "RandomState",
     "seeded_rng",
     "spawn_rngs",
+    "jsonable",
     "Timer",
     "WallClock",
     "timed",

@@ -1,0 +1,131 @@
+"""Smoke tests of the ``campaign run|status|report`` CLI subcommands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, get_campaign_preset
+from repro.cli import main as cli_main
+
+
+@pytest.fixture
+def tiny_campaign(tmp_path):
+    """A 2-run campaign spec file + store path inside tmp_path."""
+    spec = get_campaign_preset("campaign-smoke")
+    data = spec.to_dict()
+    data.update(name="cli-tiny", repetitions=1)
+    spec = CampaignSpec.from_dict(data)
+    spec_path = str(tmp_path / "campaign.json")
+    spec.to_file(spec_path)
+    return spec_path, str(tmp_path / "store.jsonl")
+
+
+class TestCampaignRun:
+    def test_run_and_resume(self, capsys, tiny_campaign):
+        spec_path, store = tiny_campaign
+        assert cli_main(["campaign", "run", "--spec", spec_path,
+                         "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "2 runs resolved" in out
+        assert "completed: 2" in out
+        # a re-launch skips everything
+        assert cli_main(["campaign", "run", "--spec", spec_path,
+                         "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "skipped: 2" in out and "executed: 0" in out
+
+    def test_run_with_preset_and_json(self, capsys, tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        assert cli_main(["campaign", "run", "--preset", "campaign-smoke",
+                         "--store", store, "--max-runs", "2",
+                         "--executor", "thread", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["campaign"] == "campaign-smoke"
+        assert payload["executed"] == 2
+        assert payload["deferred"] == 6
+        assert payload["done"] is False
+
+    def test_requires_spec_or_preset(self, capsys):
+        assert cli_main(["campaign", "run"]) == 2
+        assert "--spec FILE or --preset NAME" in capsys.readouterr().err
+        assert cli_main(["campaign", "run", "--preset", "campaign-smoke",
+                         "--spec", "x.json"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_unknown_preset_and_executor_fail_cleanly(self, capsys):
+        assert cli_main(["campaign", "run", "--preset", "warp"]) == 2
+        assert "valid campaign presets" in capsys.readouterr().err
+        assert cli_main(["campaign", "run", "--preset", "campaign-smoke",
+                         "--executor", "quantum"]) == 2
+        assert "valid executors" in capsys.readouterr().err
+
+    def test_negative_max_runs_fails_cleanly(self, capsys):
+        assert cli_main(["campaign", "run", "--preset", "campaign-smoke",
+                         "--max-runs", "-1"]) == 2
+        assert "max_runs must be >= 0" in capsys.readouterr().err
+
+
+class TestCampaignStatusAndReport:
+    def test_status_before_and_after(self, capsys, tiny_campaign):
+        spec_path, store = tiny_campaign
+        assert cli_main(["campaign", "status", "--spec", spec_path,
+                         "--store", store, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status == {"campaign": "cli-tiny", "store": store,
+                          "total_runs": 2, "completed": 0, "failed": 0,
+                          "pending": 2, "done": False}
+        assert cli_main(["campaign", "run", "--spec", spec_path,
+                         "--store", store]) == 0
+        capsys.readouterr()
+        assert cli_main(["campaign", "status", "--spec", spec_path,
+                         "--store", store, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["completed"] == 2 and status["done"] is True
+
+    def test_report_text_and_json(self, capsys, tiny_campaign):
+        spec_path, store = tiny_campaign
+        assert cli_main(["campaign", "run", "--spec", spec_path,
+                         "--store", store]) == 0
+        capsys.readouterr()
+        assert cli_main(["campaign", "report", "--spec", spec_path,
+                         "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "best run" in out
+        assert "ml.base_learning_rate" in out
+        assert cli_main(["campaign", "report", "--spec", spec_path,
+                         "--store", store, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_completed"] == 2
+        assert payload["best_run"]["final_total_loss"] == \
+            payload["loss"]["min"]
+
+    def test_status_and_report_scope_to_the_spec(self, capsys, tmp_path,
+                                                 tiny_campaign):
+        """Records of another spec in a shared store must not skew counts."""
+        spec_path, store = tiny_campaign
+        assert cli_main(["campaign", "run", "--spec", spec_path,
+                         "--store", store]) == 0
+        capsys.readouterr()
+        # a different campaign (different seed -> disjoint run ids) sharing
+        # the store: the first spec still reports only its own runs
+        other = CampaignSpec.from_file(spec_path)
+        other_path = str(tmp_path / "other.json")
+        CampaignSpec.from_dict({**other.to_dict(), "seed": 999}).to_file(other_path)
+        assert cli_main(["campaign", "status", "--spec", other_path,
+                         "--store", store, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["completed"] == 0 and status["pending"] == 2
+        assert cli_main(["campaign", "report", "--spec", other_path,
+                         "--store", store]) == 2
+        assert "no recorded runs" in capsys.readouterr().err
+        assert cli_main(["campaign", "status", "--spec", spec_path,
+                         "--store", store, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["completed"] == 2
+
+    def test_report_without_records_errors(self, capsys, tiny_campaign):
+        spec_path, store = tiny_campaign
+        assert cli_main(["campaign", "report", "--spec", spec_path,
+                         "--store", store]) == 2
+        assert "no recorded runs" in capsys.readouterr().err

@@ -74,6 +74,33 @@ class TestRunCommand:
         assert "driver: threaded" in out
         assert "max stream queue depth" in out
 
+    def test_run_json_output_is_machine_readable(self, capsys):
+        import json
+
+        assert cli_main(["run", "--steps", "2", "--json"] + TINY) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["driver"] == "serial"
+        assert payload["steps"] == 2
+        assert payload["iterations_streamed"] == 2
+        assert payload["training_iterations"] == 2
+        assert payload["producer_exception"] is None
+        assert payload["consumer_exceptions"] == {}
+        assert payload["consumer_summaries"]["mlapp"]["kind"] == "mlapp"
+
+    def test_run_json_with_monitor_evaluate_and_checkpoint(self, capsys, tmp_path):
+        import json
+
+        checkpoint = str(tmp_path / "ckpt")
+        assert cli_main(["run", "--steps", "3", "--json", "--monitor",
+                         "--evaluate", "--checkpoint", checkpoint] + TINY) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["consumer_summaries"]["monitor"]["iterations_consumed"] == 3
+        assert payload["evaluation"]
+        assert {"region", "true_peak", "predicted_peak"} <= \
+            set(payload["evaluation"][0])
+        assert payload["checkpoint"]["directory"].startswith(checkpoint)
+
     def test_run_evaluate_and_checkpoint(self, capsys, tmp_path):
         checkpoint = str(tmp_path / "ckpt")
         assert cli_main(["run", "--steps", "3", "--evaluate",

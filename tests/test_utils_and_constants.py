@@ -12,6 +12,7 @@ from hypothesis import strategies as st
 
 from repro import constants
 from repro.utils.rng import derive_seed, seeded_rng, spawn_rngs
+from repro.utils.serialization import jsonable
 from repro.utils.timer import Timer, VirtualClock, WallClock, timed
 from repro.utils.validation import (broadcast_shapes, check_array, check_in,
                                     check_positive, check_probability, check_shape)
@@ -75,6 +76,26 @@ class TestRNG:
         children = spawn_rngs(np.random.default_rng(1), 2)
         assert len(children) == 2
 
+    def test_spawn_rngs_from_generator_deterministic(self):
+        a = spawn_rngs(np.random.default_rng(3), 4)
+        b = spawn_rngs(np.random.default_rng(3), 4)
+        for left, right in zip(a, b):
+            np.testing.assert_allclose(left.random(5), right.random(5))
+
+    def test_spawn_rngs_generator_children_never_collide(self):
+        """Regression: children were seeded with raw ``integers()`` draws, so
+        a generator yielding equal draws handed children identical streams.
+        SeedSequence-derived children stay distinct even for equal entropy."""
+
+        class ConstantEntropyGenerator(np.random.Generator):
+            def integers(self, *args, **kwargs):
+                size = kwargs.get("size")
+                return np.zeros(size, dtype=np.int64) if size else 0
+
+        children = spawn_rngs(ConstantEntropyGenerator(np.random.PCG64(0)), 64)
+        first_draws = {float(child.random()) for child in children}
+        assert len(first_draws) == 64
+
     def test_spawn_negative_raises(self):
         with pytest.raises(ValueError):
             spawn_rngs(0, -1)
@@ -88,6 +109,33 @@ class TestRNG:
     def test_derive_seed_in_range(self, seed):
         derived = derive_seed(seed, 4)
         assert 0 <= derived < 2**63 - 1
+
+
+class TestJsonable:
+    def test_coerces_numpy_scalars_arrays_and_containers(self):
+        import json
+
+        payload = jsonable({"a": np.float64(1.5), "b": np.arange(3),
+                            "c": (np.int32(2), [np.bool_(True)])})
+        assert payload == {"a": 1.5, "b": [0, 1, 2], "c": [2, [True]]}
+        json.dumps(payload)
+
+    def test_non_finite_floats_become_null(self):
+        import json
+
+        payload = jsonable({"loss": float("nan"), "bound": np.inf,
+                            "arr": np.array([1.0, np.nan])})
+        assert payload == {"loss": None, "bound": None, "arr": [1.0, None]}
+        assert "NaN" not in json.dumps(payload)
+
+    def test_zero_dimensional_arrays_become_scalars(self):
+        assert jsonable(np.array(1.5)) == 1.5
+        assert jsonable({"a": np.array(2)}) == {"a": 2}
+
+    def test_non_strict_keeps_non_finite_floats(self):
+        out = jsonable({"x": np.float64("nan"), "y": np.array(np.inf)},
+                       strict=False)
+        assert math.isnan(out["x"]) and out["y"] == math.inf
 
 
 class TestTimer:
