@@ -1,0 +1,140 @@
+"""Sharded campaign execution and result caching: speed and identity.
+
+The sharded executor's pitch is the step from "pools on one box" toward
+multi-node campaigns: partition the resolved runs across named shards,
+delegate each shard to an inner executor, merge one outcome.  Three
+properties are measured/asserted here:
+
+* **identity** — a 4-shard hash-routed launch of the 8-run
+  ``campaign-smoke`` sweep reproduces the serial executor's campaign
+  exactly (same run ids, same deterministic report); only wall clock may
+  differ,
+* **shard overlap** — with latency-dominated runs (staged input, remote
+  streams) the shards' waits overlap even with a serial inner executor:
+  >2x over serial on any machine,
+* **cache elision** — a second campaign against a warm result cache
+  serves every run without executing a single workflow, turning the sweep
+  into pure bookkeeping (orders of magnitude faster than recomputing).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_campaign_sharding.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import pytest
+
+from repro.campaign import (CampaignStore, ResultCache, aggregate,
+                            get_campaign_preset, get_executor, run_campaign)
+
+N_RUNS = 8
+N_SHARDS = 4
+
+_store_counter = itertools.count()
+
+
+def _fresh_store(tmp_path, tag: str) -> CampaignStore:
+    return CampaignStore(str(tmp_path / f"{tag}-{next(_store_counter)}.jsonl"))
+
+
+@pytest.fixture(scope="module")
+def serial_reference(tmp_path_factory):
+    """One serial smoke sweep shared by the identity checks."""
+    store = CampaignStore(
+        str(tmp_path_factory.mktemp("sharding-ref") / "ref.jsonl"))
+    outcome = run_campaign(get_campaign_preset("campaign-smoke"), store,
+                           get_executor("serial"))
+    assert outcome.completed == N_RUNS, [r.error for r in outcome.records]
+    return store, aggregate(store.records(), campaign="campaign-smoke")
+
+
+def test_sharded_smoke_matches_serial(benchmark, tmp_path, serial_reference):
+    """`--executor sharded --shards 4` reproduces the serial campaign."""
+    spec = get_campaign_preset("campaign-smoke-sharded")
+
+    def sweep():
+        store = _fresh_store(tmp_path, "sharded")
+        executor = get_executor("sharded", shards=N_SHARDS)
+        outcome = run_campaign(spec, store, executor)
+        assert outcome.completed == N_RUNS, [r.error for r in outcome.records]
+        return store, executor
+
+    store, executor = benchmark.pedantic(sweep, iterations=1, rounds=3)
+    report = aggregate(store.records(), campaign="campaign-smoke")
+    reference_store, reference = serial_reference
+    assert {r.run_id for r in store.records()} == \
+        {r.run_id for r in reference_store.records()}
+    assert report.deterministic_dict() == reference.deterministic_dict()
+    benchmark.extra_info["shards"] = N_SHARDS
+    benchmark.extra_info["shard_sizes"] = dict(sorted(
+        executor.shard_sizes.items()))
+    benchmark.extra_info["best_loss"] = round(
+        report.best_run["final_total_loss"], 4)
+
+
+def test_shards_overlap_latency_bound_runs(benchmark):
+    """Hash-routed shards overlap latency-dominated runs even with a
+    serial inner executor — the waits are paid per shard, not per run."""
+    spec = get_campaign_preset("campaign-smoke")
+    payloads = [run.payload() for run in spec.resolve()]
+    LATENCY = 0.05
+
+    def waiting_worker(payload):
+        time.sleep(LATENCY)
+        return {"final_total_loss": 1.0, "ok": True}
+
+    def timed(executor_name, **kwargs):
+        start = time.perf_counter()
+        records = get_executor(executor_name, **kwargs).execute(
+            payloads, waiting_worker)
+        assert all(record.completed for record in records)
+        return time.perf_counter() - start
+
+    serial_wall = timed("serial")
+    sharded_wall = benchmark.pedantic(
+        lambda: timed("sharded", shards=N_SHARDS, inner="serial"),
+        iterations=1, rounds=3)
+    benchmark.extra_info["serial_wall_s"] = round(serial_wall, 3)
+    benchmark.extra_info["sharded_wall_s"] = round(sharded_wall, 3)
+    benchmark.extra_info["speedup"] = round(serial_wall / sharded_wall, 2)
+    assert serial_wall >= N_RUNS * LATENCY
+    assert sharded_wall < serial_wall / 2
+
+
+def test_warm_cache_elides_every_run(benchmark, tmp_path, serial_reference):
+    """A warm result cache turns the sweep into bookkeeping: zero workflow
+    executions, and a wall-clock far below one real run's."""
+    spec = get_campaign_preset("campaign-smoke")
+    cache = ResultCache(str(tmp_path / "cache"))
+
+    cold_start = time.perf_counter()
+    cold = run_campaign(spec, _fresh_store(tmp_path, "cold"),
+                        get_executor("sharded", shards=N_SHARDS), cache=cache)
+    cold_wall = time.perf_counter() - cold_start
+    assert cold.completed == N_RUNS and cold.cache_hits == 0
+
+    def refusing_worker(payload):
+        raise AssertionError("a cached run was executed")
+
+    def warm_sweep():
+        outcome = run_campaign(spec, _fresh_store(tmp_path, "warm"),
+                               get_executor("sharded", shards=N_SHARDS),
+                               worker=refusing_worker, cache=cache)
+        assert outcome.cache_hits == N_RUNS and outcome.executed == 0
+        return outcome
+
+    warm_start = time.perf_counter()
+    warm_outcome = warm_sweep()
+    warm_wall = time.perf_counter() - warm_start
+    benchmark.pedantic(warm_sweep, iterations=1, rounds=3)
+
+    report = aggregate(warm_outcome.records, campaign="campaign-smoke")
+    assert report.deterministic_dict() == serial_reference[1].deterministic_dict()
+    benchmark.extra_info["cold_wall_s"] = round(cold_wall, 3)
+    benchmark.extra_info["warm_wall_s"] = round(warm_wall, 4)
+    benchmark.extra_info["speedup"] = round(cold_wall / warm_wall, 1)
+    assert warm_wall < cold_wall / 5

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""A sharded campaign with cross-campaign result caching.
+
+Runs the same learning-rate sweep twice, the way a scaled-out study would:
+
+1. a **sharded** launch — the resolved runs are hash-routed across 3 named
+   shards, each delegated to its own serial inner executor, and every
+   completed result lands in a content-addressed cache;
+2. a second campaign (different name, different store, same resolved runs)
+   against the warm cache — every run is served without executing anything,
+   proving the cache is keyed by run content, not by campaign.
+
+Both launches aggregate to the identical deterministic report.
+
+Run with::
+
+    python examples/sharded_cached_campaign.py [work-dir]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.campaign import (CampaignSpec, CampaignStore, ResultCache,
+                            aggregate, get_executor, run_campaign)
+
+
+def sweep_spec(name: str) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        base_preset="bench-tiny",
+        parameters={"ml.base_learning_rate": [1e-3, 5e-4, 1e-4]},
+        repetitions=2,        # 2 derived seeds per learning rate = 6 runs
+        n_steps=3,
+        seed=41,
+        routing={"shards": 3, "route": "hash", "inner": "serial"},
+    )
+
+
+def main() -> None:
+    work_dir = sys.argv[1] if len(sys.argv) > 1 else "."
+    cache = ResultCache(os.path.join(work_dir, "campaign-cache"))
+
+    spec = sweep_spec("lr-sweep-sharded")
+    executor = get_executor("sharded", **spec.routing)
+    store = CampaignStore(os.path.join(work_dir, f"{spec.name}.jsonl"))
+    print(f"campaign {spec.name!r}: {len(spec.resolve())} runs across "
+          f"{spec.routing['shards']} shards")
+    outcome = run_campaign(spec, store, executor, cache=cache)
+    print(f"  shard sizes : {executor.shard_sizes}")
+    print(f"  executed {outcome.executed}, cache hits {outcome.cache_hits}, "
+          f"failed {outcome.failed}\n")
+
+    # a differently-named campaign over the same resolved runs: everything
+    # is served from the cache, nothing executes
+    rerun = sweep_spec("lr-sweep-replayed")
+    rerun_store = CampaignStore(os.path.join(work_dir, f"{rerun.name}.jsonl"))
+    print(f"campaign {rerun.name!r}: same runs, warm cache")
+    replay = run_campaign(rerun, rerun_store, get_executor("serial"),
+                          cache=cache)
+    print(f"  executed {replay.executed}, cache hits {replay.cache_hits} "
+          f"({100 * replay.cache_hits // max(1, len(replay.records))}%)\n")
+
+    first = aggregate(store.records(), campaign="sweep")
+    second = aggregate(rerun_store.records(), campaign="sweep")
+    assert first.deterministic_dict() == second.deterministic_dict()
+    print(second.format_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -12,14 +12,23 @@ as one hand-launched session.  This subsystem turns one declarative
   captured exceptions, plus :func:`run_campaign` tying everything together,
 * :mod:`repro.campaign.store`     — the append-only JSONL result log keyed
   by run-id hash that makes campaigns resumable,
+* :mod:`repro.campaign.sharding`  — the sharded executor: partition a
+  campaign across named shards under a routing policy (hash / round-robin
+  / explicit) and delegate each shard to any registered inner executor,
+* :mod:`repro.campaign.cache`     — the content-addressed per-run result
+  cache: completed runs are reusable across campaigns, not just within
+  one store,
 * :mod:`repro.campaign.aggregate` — the campaign-level report (per-parameter
-  stats, best-run selection, throughput),
-* :mod:`repro.campaign.presets`   — named campaigns (``campaign-smoke``).
+  stats, best-run selection, throughput, cache provenance),
+* :mod:`repro.campaign.presets`   — named campaigns (``campaign-smoke``,
+  ``campaign-smoke-sharded``).
 
 CLI access: ``python -m repro.cli campaign run|status|report``.
+See ``docs/campaigns.md`` and ``docs/extending-executors.md``.
 """
 
 from repro.campaign.aggregate import CampaignReport, aggregate
+from repro.campaign.cache import ResultCache
 from repro.campaign.presets import (available_campaign_presets,
                                     get_campaign_preset,
                                     register_campaign_preset)
@@ -30,6 +39,11 @@ from repro.campaign.scheduler import (CampaignExecutor, CampaignOutcome,
                                       available_executors, execute_run,
                                       get_executor, register_executor,
                                       run_campaign)
+from repro.campaign.sharding import (ExplicitRouter, HashRouter,
+                                     RoundRobinRouter, ShardedExecutor,
+                                     WorkloadRouter, available_routers,
+                                     get_router, register_router,
+                                     stable_shard_hash)
 from repro.campaign.spec import (CampaignSpec, RunSpec, apply_override,
                                  run_id_of)
 from repro.campaign.store import CampaignStore, RunRecord
@@ -45,6 +59,16 @@ __all__ = [
     "SerialExecutor",
     "ThreadPoolCampaignExecutor",
     "ProcessPoolCampaignExecutor",
+    "ShardedExecutor",
+    "WorkloadRouter",
+    "HashRouter",
+    "RoundRobinRouter",
+    "ExplicitRouter",
+    "available_routers",
+    "get_router",
+    "register_router",
+    "stable_shard_hash",
+    "ResultCache",
     "available_executors",
     "get_executor",
     "register_executor",

@@ -56,23 +56,36 @@ class CampaignReport:
     totals: Dict[str, float]
     #: wall-time / throughput figures (machine-dependent)
     timing: Dict[str, float] = field(default_factory=dict)
+    #: recorded runs served from a result cache rather than executed
+    #: (provenance, not content: excluded from ``deterministic_dict``)
+    n_cached: int = 0
 
     def deterministic_dict(self) -> Dict[str, object]:
-        """Everything that must be identical across re-executions."""
+        """Everything that must be identical across re-executions.
+
+        Cache provenance (``n_cached``) and timing are excluded: whether a
+        run was served from cache, and how long it took, depend on machine
+        state — the losses and counters do not.
+        """
         return {"campaign": self.campaign, "n_runs": self.n_runs,
                 "n_completed": self.n_completed, "n_failed": self.n_failed,
                 "loss": self.loss, "per_parameter": self.per_parameter,
                 "best_run": self.best_run, "totals": self.totals}
 
     def to_dict(self) -> Dict[str, object]:
+        """The full report (deterministic content + timing + provenance)."""
         out = self.deterministic_dict()
         out["timing"] = self.timing
+        out["n_cached"] = self.n_cached
         return out
 
     def format_text(self) -> str:
         """Human-readable multi-line report for the CLI."""
         lines = [f"campaign {self.campaign!r}: {self.n_completed} completed, "
                  f"{self.n_failed} failed of {self.n_runs} recorded runs"]
+        if self.n_cached:
+            lines.append(f"  served from cache: {self.n_cached} of "
+                         f"{self.n_completed} completed runs")
         if self.loss is not None:
             lines.append(f"  final total loss : mean {self.loss['mean']:.4f}  "
                          f"min {self.loss['min']:.4f}  max {self.loss['max']:.4f}")
@@ -167,4 +180,5 @@ def aggregate(records: Sequence[RunRecord],
         n_failed=len(records) - len(completed),
         loss=_stats(losses) if losses else None,
         per_parameter=per_parameter, best_run=best, totals=totals,
-        timing=timing)
+        timing=timing,
+        n_cached=sum(1 for record in records if record.cached))

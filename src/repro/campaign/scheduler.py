@@ -13,7 +13,10 @@ remote workers, result caching) only has to implement this interface.
   coupled runs spend much of their time in numpy kernels that release the
   GIL, so tiny sweeps already overlap usefully,
 * :class:`ProcessPoolCampaignExecutor` — bounded process fan-out for real
-  CPU parallelism (the worker and payloads are picklable by construction).
+  CPU parallelism (the worker and payloads are picklable by construction),
+* :class:`repro.campaign.sharding.ShardedExecutor` — partitions the runs
+  across named shards under a routing policy and delegates each shard to
+  any inner registered executor.
 
 The timeout is *cooperative*: an in-flight run is never killed (neither
 threads nor in-process work can be interrupted safely).  It budgets the
@@ -22,9 +25,12 @@ time remains, and a successful attempt is always recorded completed — over
 budget it keeps its result, annotated with a ``TimeoutWarning`` (discarding
 finished work would re-execute it on every resume, forever).
 
-:func:`run_campaign` ties spec, store and executor together: resolve the
-spec, skip run ids the store already completed, execute the rest, append
-each record as it finishes.
+:func:`run_campaign` ties spec, store, executor and (optionally) a
+:class:`repro.campaign.cache.ResultCache` together: resolve the spec, skip
+run ids the store already completed, serve cached runs without executing
+them, execute the rest, append each record as it finishes.  Because the
+cache lookup happens here — before executor dispatch — *every* executor
+skips cached runs without knowing the cache exists.
 """
 
 from __future__ import annotations
@@ -32,7 +38,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
     ThreadPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Type
 
 from repro.campaign.spec import CampaignSpec
@@ -130,6 +136,19 @@ class CampaignExecutor:
 
     def execute(self, payloads: Sequence[Dict[str, object]], worker: RunWorker,
                 on_record: Optional[RecordCallback] = None) -> List[RunRecord]:
+        """Execute every payload, returning records in submission order.
+
+        Args:
+            payloads: resolved run payloads (``RunSpec.payload()`` dicts).
+            worker: callable executing one payload into a summary dict.
+            on_record: observer invoked once per finished record (in
+                completion order, which may differ from submission order).
+
+        Returns:
+            One :class:`repro.campaign.store.RunRecord` per payload, in
+            submission order; worker exceptions are captured into failed
+            records, never raised.
+        """
         raise NotImplementedError
 
 
@@ -139,6 +158,7 @@ class SerialExecutor(CampaignExecutor):
     name = "serial"
 
     def execute(self, payloads, worker, on_record=None):
+        """Run the payloads sequentially (see the base-class contract)."""
         records = []
         for payload in payloads:
             record = _attempt_run(payload, worker, self.retries, self.timeout)
@@ -231,19 +251,42 @@ _EXECUTORS: Dict[str, Type[CampaignExecutor]] = {
 
 
 def available_executors() -> tuple:
+    """The registered campaign executor names, sorted."""
     return tuple(sorted(_EXECUTORS))
 
 
 def register_executor(name: str, executor_cls: Type[CampaignExecutor],
                       overwrite: bool = False) -> None:
-    """Register a campaign executor (the hook for sharded/remote backends)."""
+    """Register a campaign executor (the hook for sharded/remote backends).
+
+    Args:
+        name: the registry key (what ``--executor`` and :func:`get_executor`
+            accept).
+        executor_cls: a :class:`CampaignExecutor` subclass.
+        overwrite: allow replacing an existing registration.
+
+    Raises:
+        ValueError: if ``name`` is taken and ``overwrite`` is false.
+    """
     if name in _EXECUTORS and not overwrite:
         raise ValueError(f"executor {name!r} is already registered")
     _EXECUTORS[name] = executor_cls
 
 
 def get_executor(name: str, **kwargs) -> CampaignExecutor:
-    """Instantiate an executor by name (``serial``, ``thread``, ``process``)."""
+    """Instantiate a registered executor by name.
+
+    Args:
+        name: one of :func:`available_executors` (``serial``, ``thread``,
+            ``process``, ``sharded``, or a user-registered backend).
+        **kwargs: forwarded to the executor's constructor.
+
+    Returns:
+        A fresh executor instance.
+
+    Raises:
+        ValueError: on an unknown name or constructor-rejected options.
+    """
     try:
         executor_cls = _EXECUTORS[name]
     except KeyError:
@@ -262,10 +305,11 @@ class CampaignOutcome:
     campaign: str
     total_runs: int                 #: resolved size of the campaign
     skipped: int                    #: already complete in the store
-    executed: int                   #: runs attempted by this launch
-    completed: int
+    executed: int                   #: runs executed by a worker this launch
+    completed: int                  #: completed records (cache hits included)
     failed: int
     deferred: int = 0               #: pending runs left out by ``max_runs``
+    cache_hits: int = 0             #: runs served from the result cache
     records: List[RunRecord] = field(default_factory=list)
 
     @property
@@ -274,10 +318,12 @@ class CampaignOutcome:
         return self.skipped + self.completed == self.total_runs
 
     def summary(self) -> Dict[str, object]:
+        """The outcome as a flat JSON-able dict (the CLI ``--json`` shape)."""
         return {"campaign": self.campaign, "total_runs": self.total_runs,
-                "skipped": self.skipped, "executed": self.executed,
-                "completed": self.completed, "failed": self.failed,
-                "deferred": self.deferred, "done": self.done}
+                "skipped": self.skipped, "cache_hits": self.cache_hits,
+                "executed": self.executed, "completed": self.completed,
+                "failed": self.failed, "deferred": self.deferred,
+                "done": self.done}
 
 
 def run_campaign(spec: CampaignSpec, store: CampaignStore,
@@ -285,7 +331,8 @@ def run_campaign(spec: CampaignSpec, store: CampaignStore,
                  worker: RunWorker = execute_run,
                  max_runs: Optional[int] = None,
                  on_record: Optional[RecordCallback] = None,
-                 runs=None, completed_ids=None) -> CampaignOutcome:
+                 runs=None, completed_ids=None,
+                 cache=None) -> CampaignOutcome:
     """Execute (or resume) a campaign: run whatever the store has not completed.
 
     Every finished run is appended to the store immediately, so a campaign
@@ -296,6 +343,29 @@ def run_campaign(spec: CampaignSpec, store: CampaignStore,
     ``completed_ids`` accept the spec's already-resolved run list and the
     store's completed-id set so callers that computed them for reporting
     don't pay for resolution or a store re-read twice.
+
+    Args:
+        spec: the campaign to execute.
+        store: this campaign's append-only record log.
+        executor: execution backend (default: a fresh serial executor).
+        worker: callable executing one resolved payload (default: the real
+            coupled workflow run).
+        max_runs: at most this many pending runs this launch (cache hits
+            count against the bound — they consume pending slots).
+        on_record: observer invoked once per produced record.
+        runs: pre-resolved ``spec.resolve()`` list (skips re-resolution).
+        completed_ids: pre-read ``store.completed_run_ids()`` set.
+        cache: optional :class:`repro.campaign.cache.ResultCache`; pending
+            runs found there are recorded (``cached=True``) without being
+            executed, and newly completed runs are added to it.
+
+    Returns:
+        The launch's :class:`CampaignOutcome`; ``executed`` counts only
+        worker-executed runs, cache hits are reported separately.
+
+    Raises:
+        ValueError: on a negative ``max_runs``.
+        OSError: if the store (or cache) becomes unwritable mid-launch.
     """
     executor = executor or SerialExecutor()
     runs = spec.resolve() if runs is None else runs
@@ -312,14 +382,38 @@ def run_campaign(spec: CampaignSpec, store: CampaignStore,
 
     def record_and_store(record: RunRecord) -> None:
         store.append(record)
+        if cache is not None:
+            cache.put(record)   # refuses failed + already-cached records
         if on_record is not None:
             on_record(record)
 
-    records = executor.execute([run.payload() for run in pending], worker,
-                               on_record=record_and_store)
+    # cache pass first: whatever is already computed anywhere is recorded
+    # into this campaign's store without dispatching it to the executor
+    by_position: Dict[int, RunRecord] = {}
+    to_execute = list(enumerate(pending))
+    if cache is not None:
+        to_execute = []
+        for position, run in enumerate(pending):
+            hit = cache.get(run.run_id)
+            if hit is None:
+                to_execute.append((position, run))
+                continue
+            # the entry may come from a different campaign over the same
+            # resolved run: re-key its position/params to *this* spec
+            record = replace(hit, index=run.index, params=dict(run.params))
+            by_position[position] = record
+            record_and_store(record)
+
+    executed = executor.execute([run.payload() for _, run in to_execute],
+                                worker, on_record=record_and_store)
+    for (position, _), record in zip(to_execute, executed):
+        by_position[position] = record
+    records = [by_position[position] for position in range(len(pending))]
     completed = sum(1 for record in records if record.completed)
     return CampaignOutcome(campaign=spec.name, total_runs=len(runs),
-                           skipped=skipped, executed=len(records),
+                           skipped=skipped, executed=len(to_execute),
                            completed=completed,
                            failed=len(records) - completed,
-                           deferred=deferred, records=records)
+                           deferred=deferred,
+                           cache_hits=len(pending) - len(to_execute),
+                           records=records)

@@ -23,7 +23,11 @@ of its resolved config + driver + step count, which is what makes campaigns
 resumable (see :mod:`repro.campaign.store`).
 
 Like ``WorkflowConfig``, specs round-trip losslessly through dicts and JSON
-files (``to_dict``/``from_dict``/``to_file``/``from_file``).
+files (``to_dict``/``from_dict``/``to_file``/``from_file``).  A spec may
+also carry execution *hints* — ``routing`` (sharded-executor defaults) and
+``cache_dir`` (result-cache directory) — which the CLI honours but which
+are deliberately **not** part of run identity: resharding a campaign or
+pointing it at a cache never changes its run ids.
 """
 
 from __future__ import annotations
@@ -44,6 +48,9 @@ from repro.workflow.presets import get_preset
 RUN_LEVEL_KEYS = ("driver", "n_steps")
 
 SAMPLERS = ("grid", "random", "explicit")
+
+#: Keys a spec's ``routing`` mapping may carry (sharded-execution hints).
+ROUTING_KEYS = ("shards", "route", "inner", "assignments")
 
 
 def _as_int(name: str, value: object, minimum: Optional[int] = None) -> int:
@@ -106,6 +113,7 @@ class RunSpec:
     repetition: int = 0             #: ensemble member index at this point
 
     def build_config(self) -> WorkflowConfig:
+        """Rebuild the run's :class:`WorkflowConfig` from its resolved dict."""
         return WorkflowConfig.from_dict(self.config)
 
     def payload(self) -> Dict[str, object]:
@@ -138,6 +146,17 @@ class CampaignSpec:
     n_steps: int = 2                #: simulation steps per run
     driver: str = "serial"          #: workflow execution driver per run
     seed: int = 7                   #: campaign seed: drives sampling + per-run seeds
+    #: sharded-execution defaults consumed by the CLI and
+    #: :class:`repro.campaign.sharding.ShardedExecutor`: keys ``shards``
+    #: (int >= 1), ``route`` (router name), ``inner`` (inner executor name)
+    #: and ``assignments`` (explicit ``run_id -> shard`` map).  Never part
+    #: of run identity — two specs differing only here resolve to the same
+    #: run ids.
+    routing: Dict[str, object] = field(default_factory=dict)
+    #: default :class:`repro.campaign.cache.ResultCache` directory for this
+    #: campaign (the CLI ``--cache-dir`` flag overrides it); also outside
+    #: run identity
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         # coerce integer fields up front so a hand-written spec file with
@@ -170,6 +189,38 @@ class CampaignSpec:
             raise ValueError("sampler 'explicit' needs a non-empty explicit list")
         if self.sampler != "explicit" and self.explicit:
             raise ValueError("explicit points require sampler='explicit'")
+        self._validate_routing()
+        if self.cache_dir is not None and not isinstance(self.cache_dir, str):
+            raise ValueError(f"cache_dir must be a directory path string, "
+                             f"got {self.cache_dir!r}")
+
+    def _validate_routing(self) -> None:
+        """Type-check the routing hints (names are resolved at executor build)."""
+        if not isinstance(self.routing, Mapping):
+            raise ValueError(f"routing must be a mapping with keys "
+                             f"{', '.join(ROUTING_KEYS)}; got {self.routing!r}")
+        self.routing = dict(self.routing)
+        unknown = sorted(set(self.routing) - set(ROUTING_KEYS))
+        if unknown:
+            raise ValueError(f"unknown routing keys {unknown}; valid keys: "
+                             f"{', '.join(ROUTING_KEYS)}")
+        if "shards" in self.routing:
+            self.routing["shards"] = _as_int("routing.shards",
+                                             self.routing["shards"], minimum=1)
+        for key in ("route", "inner"):
+            if key in self.routing and not isinstance(self.routing[key], str):
+                raise ValueError(f"routing.{key} must be a name string, "
+                                 f"got {self.routing[key]!r}")
+        if "assignments" in self.routing:
+            if not isinstance(self.routing["assignments"], Mapping):
+                raise ValueError(
+                    f"routing.assignments must map run ids to shard indices, "
+                    f"got {self.routing['assignments']!r}")
+            # mirror the sampler/explicit strictness: assignments under a
+            # non-explicit route would be silently ignored at execution
+            if self.routing.get("route") != "explicit":
+                raise ValueError("routing.assignments requires "
+                                 "routing.route='explicit'")
 
     # -- sampling ----------------------------------------------------------- #
     def _base_dict(self) -> Dict[str, object]:
@@ -284,10 +335,17 @@ class CampaignSpec:
 
     # -- serialisation ------------------------------------------------------ #
     def to_dict(self) -> Dict[str, object]:
+        """The spec as a plain JSON-able dict (lossless round-trip)."""
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "CampaignSpec":
+        """Rebuild (and re-validate) a spec from its :meth:`to_dict` form.
+
+        Raises:
+            ValueError: on unknown keys or invalid field values — a typo'd
+                spec file fails loudly with the valid keys listed.
+        """
         valid = {spec.name for spec in fields(cls)}
         unknown = sorted(set(data) - valid)
         if unknown:
@@ -296,11 +354,18 @@ class CampaignSpec:
         return cls(**dict(data))
 
     def to_file(self, path: str) -> None:
+        """Write the spec as an indented JSON file (``from_file`` reads it)."""
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.to_dict(), handle, indent=2)
 
     @classmethod
     def from_file(cls, path: str) -> "CampaignSpec":
+        """Load a spec from a :meth:`to_file` JSON dump.
+
+        Raises:
+            ValueError: if the file is not a valid spec.
+            OSError: if the file cannot be read.
+        """
         with open(path, encoding="utf-8") as handle:
             return cls.from_dict(json.load(handle))
 

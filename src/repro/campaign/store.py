@@ -47,16 +47,30 @@ class RunRecord:
     elapsed_s: float = 0.0
     error: Optional[str] = None
     summary: Dict[str, object] = field(default_factory=dict)
+    #: served from a :class:`repro.campaign.cache.ResultCache` instead of
+    #: being executed by this launch (``elapsed_s``/``summary`` are the
+    #: original run's)
+    cached: bool = False
 
     @property
     def completed(self) -> bool:
+        """Whether this run finished with status ``completed``."""
         return self.status == STATUS_COMPLETED
 
     def to_dict(self) -> Dict[str, object]:
+        """The record as a plain JSON-able dict (one store row)."""
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RunRecord":
+        """Rebuild a record from its :meth:`to_dict` row.
+
+        Rows written before the ``cached`` field existed load with
+        ``cached=False``.
+
+        Raises:
+            TypeError: if ``data`` is not a run-record row.
+        """
         return cls(**dict(data))
 
 
@@ -128,6 +142,7 @@ class CampaignStore:
         return {record.run_id for record in self.records() if record.completed}
 
     def counts(self) -> Dict[str, int]:
+        """Latest-record counts per status (``completed`` / ``failed``)."""
         out = {STATUS_COMPLETED: 0, STATUS_FAILED: 0}
         for record in self.records():
             out[record.status] = out.get(record.status, 0) + 1

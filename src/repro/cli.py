@@ -104,11 +104,30 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_run = campaign_sub.add_parser(
         "run", help="run (or resume) a campaign; completed runs are skipped")
     add_campaign_selectors(campaign_run)
-    campaign_run.add_argument("--executor", type=str, default="serial",
+    campaign_run.add_argument("--executor", type=str, default=None,
                               help="campaign executor: serial (default), "
-                                   "thread or process")
+                                   "thread, process or sharded (implied by "
+                                   "--shards/--route or a spec with routing)")
+    campaign_run.add_argument("--shards", type=int, default=None,
+                              help="shard count of the sharded executor "
+                                   "(implies --executor sharded)")
+    campaign_run.add_argument("--route", type=str, default=None,
+                              help="workload routing policy of the sharded "
+                                   "executor: hash (default), round-robin "
+                                   "or explicit (implies --executor sharded)")
+    campaign_run.add_argument("--inner-executor", dest="inner_executor",
+                              type=str, default=None,
+                              help="executor each shard delegates to "
+                                   "(default serial; implies --executor "
+                                   "sharded)")
+    campaign_run.add_argument("--cache-dir", type=str, default=None,
+                              help="content-addressed result cache: pending "
+                                   "runs already cached (even by another "
+                                   "campaign) are recorded without being "
+                                   "executed; new completed runs are added")
     campaign_run.add_argument("--max-workers", type=int, default=None,
-                              help="bounded concurrency of the pool executors")
+                              help="bounded concurrency of the pool executors "
+                                   "(per shard under --executor sharded)")
     campaign_run.add_argument("--timeout", type=float, default=None,
                               help="per-run wall-clock budget in seconds, "
                                    "covering retries (cooperative: checked "
@@ -263,16 +282,51 @@ def _campaign_store(args: argparse.Namespace, spec):
     return CampaignStore(args.store or f"{spec.name}.campaign.jsonl")
 
 
+def _campaign_executor(args: argparse.Namespace, spec):
+    """Build the run executor from the spec's routing hints and the flags.
+
+    Explicit flags win over the spec; sharding flags (or a spec that
+    carries routing) imply ``--executor sharded`` unless another executor
+    was named explicitly — in which case stray sharding flags are an error
+    rather than silently ignored.
+    """
+    from repro.campaign import get_executor
+
+    routing = dict(spec.routing)
+    if args.shards is not None:
+        routing["shards"] = args.shards
+    if args.route is not None:
+        routing["route"] = args.route
+    if args.inner_executor is not None:
+        routing["inner"] = args.inner_executor
+    flags_used = any(value is not None
+                     for value in (args.shards, args.route, args.inner_executor))
+    name = args.executor or ("sharded" if routing else "serial")
+    kwargs = dict(max_workers=args.max_workers, timeout=args.timeout,
+                  retries=args.retries)
+    if name == "sharded":
+        kwargs.update(shards=routing.get("shards", 2),
+                      route=routing.get("route", "hash"),
+                      inner=routing.get("inner", "serial"),
+                      assignments=routing.get("assignments"))
+    elif flags_used:
+        raise ValueError(f"--shards/--route/--inner-executor configure the "
+                         f"sharded executor; drop --executor {name} or use "
+                         f"--executor sharded")
+    return get_executor(name, **kwargs)
+
+
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    from repro.campaign import get_executor, run_campaign
+    from repro.campaign import ResultCache, run_campaign
 
     try:
         if args.max_runs is not None and args.max_runs < 0:
             raise ValueError("max_runs must be >= 0")
         spec = _campaign_spec(args)
         store = _campaign_store(args, spec)
-        executor = get_executor(args.executor, max_workers=args.max_workers,
-                                timeout=args.timeout, retries=args.retries)
+        executor = _campaign_executor(args, spec)
+        cache_dir = args.cache_dir or spec.cache_dir
+        cache = ResultCache(cache_dir) if cache_dir else None
         runs = spec.resolve()
         done_ids = store.completed_run_ids()
     except (ValueError, OSError) as error:
@@ -285,6 +339,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         loss = record.summary.get("final_total_loss")
         detail = (f"loss {loss:.4f}" if isinstance(loss, float)
                   else (record.error or ""))
+        if record.cached:
+            detail = f"(cached) {detail}"
         print(f"  [{record.run_id}] {record.status:>9} "
               f"in {record.elapsed_s:6.2f} s  {detail}")
 
@@ -296,18 +352,36 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     try:
         outcome = run_campaign(spec, store, executor, max_runs=args.max_runs,
                                on_record=progress, runs=runs,
-                               completed_ids=done_ids)
-    except OSError as error:
-        # e.g. the store became unwritable mid-campaign
+                               completed_ids=done_ids, cache=cache)
+    except (ValueError, OSError) as error:
+        # e.g. the store became unwritable mid-campaign, or a router
+        # produced an invalid shard for a run (workers' exceptions are
+        # captured into records and never surface here)
         print(f"error: {error}", file=sys.stderr)
         return 2
     if args.json:
-        print(json.dumps(_jsonable(outcome.summary()), indent=2))
+        payload = outcome.summary()
+        if cache is not None:
+            payload["cache"] = dict(cache.stats(), dir=cache_dir)
+        shard_sizes = getattr(executor, "shard_sizes", None)
+        if shard_sizes:
+            payload["shards"] = shard_sizes
+        print(json.dumps(_jsonable(payload), indent=2))
     else:
+        shard_sizes = getattr(executor, "shard_sizes", None)
+        if shard_sizes:
+            print("shards: " + ", ".join(f"{name}: {count}" for name, count
+                                         in sorted(shard_sizes.items())))
+        if cache is not None:
+            attempted = outcome.cache_hits + outcome.executed
+            percent = (100.0 * outcome.cache_hits / attempted
+                       if attempted else 0.0)
+            print(f"cache: {outcome.cache_hits} hit(s) of {attempted} "
+                  f"pending ({percent:.0f}%), dir {cache_dir}")
         summary = outcome.summary()
         print(", ".join(f"{key}: {summary[key]}" for key in
-                        ("total_runs", "skipped", "executed", "completed",
-                         "failed", "deferred", "done")))
+                        ("total_runs", "skipped", "cache_hits", "executed",
+                         "completed", "failed", "deferred", "done")))
     return 0 if outcome.failed == 0 else 1
 
 

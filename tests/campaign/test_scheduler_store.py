@@ -110,7 +110,8 @@ class TestStore:
 
 class TestExecutors:
     def test_registry_names(self):
-        assert available_executors() == ("process", "serial", "thread")
+        assert available_executors() == ("process", "serial", "sharded",
+                                         "thread")
         with pytest.raises(ValueError, match="valid executors"):
             get_executor("quantum")
 
@@ -282,8 +283,8 @@ class TestRunCampaign:
         outcome = run_campaign(spec, store, worker=fake_worker, max_runs=3)
         assert outcome.summary() == {
             "campaign": "campaign-smoke", "total_runs": 8, "skipped": 0,
-            "executed": 3, "completed": 3, "failed": 0, "deferred": 5,
-            "done": False}
+            "cache_hits": 0, "executed": 3, "completed": 3, "failed": 0,
+            "deferred": 5, "done": False}
         with pytest.raises(ValueError):
             run_campaign(spec, store, worker=fake_worker, max_runs=-1)
 
