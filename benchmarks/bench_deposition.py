@@ -3,7 +3,8 @@
 PIConGPU uses the charge-conserving Esirkepov scheme; the direct CIC scatter
 is cheaper but violates the continuity equation, which shows up as Gauss-law
 errors over long runs.  This benchmark measures both costs and the
-continuity residual of each scheme.
+continuity residual of each scheme, at a small and a large particle count so
+the per-particle scaling of the vectorised kernels is visible.
 """
 
 from __future__ import annotations
@@ -17,16 +18,16 @@ from repro.pic.deposition import (deposit_charge_cic, deposit_current_cic,
 from repro.pic.grid import GridConfig, YeeGrid
 
 
-N_PARTICLES = 5000
+PARTICLE_COUNTS = (5000, 50000)
 
 
-def setup_particles(rng, grid):
+def setup_particles(rng, grid, n_particles):
     extent = np.asarray(grid.config.extent)
     dt = grid.config.courant_time_step()
-    old = rng.uniform(0.1, 0.9, size=(N_PARTICLES, 3)) * extent
-    velocities = rng.normal(scale=0.2, size=(N_PARTICLES, 3)) * constants.SPEED_OF_LIGHT
+    old = rng.uniform(0.1, 0.9, size=(n_particles, 3)) * extent
+    velocities = rng.normal(scale=0.2, size=(n_particles, 3)) * constants.SPEED_OF_LIGHT
     new = old + velocities * dt
-    weights = rng.uniform(0.5, 2.0, size=N_PARTICLES)
+    weights = rng.uniform(0.5, 2.0, size=n_particles)
     return old, new, velocities, weights, dt
 
 
@@ -47,30 +48,32 @@ def continuity_residual(grid_config, old, new, weights, dt, scheme):
     return float(np.max(np.abs(residual)) / scale)
 
 
-def test_deposition_esirkepov_cost(benchmark, rng):
+@pytest.mark.parametrize("n_particles", PARTICLE_COUNTS)
+def test_deposition_esirkepov_cost(benchmark, rng, n_particles):
     grid_config = GridConfig(shape=(16, 16, 8), cell_size=(1e-5,) * 3)
     grid = YeeGrid(grid_config)
-    old, new, velocities, weights, dt = setup_particles(rng, grid)
+    old, new, velocities, weights, dt = setup_particles(rng, grid, n_particles)
     charge = -constants.ELEMENTARY_CHARGE
 
     benchmark(lambda: deposit_current_esirkepov(grid, old, new, charge, weights, dt))
 
     residual = continuity_residual(grid_config, old, new, weights, dt, "esirkepov")
     benchmark.extra_info["continuity_residual"] = f"{residual:.2e}"
-    benchmark.extra_info["particles"] = N_PARTICLES
+    benchmark.extra_info["particles"] = n_particles
     assert residual < 1e-9
 
 
-def test_deposition_cic_cost(benchmark, rng):
+@pytest.mark.parametrize("n_particles", PARTICLE_COUNTS)
+def test_deposition_cic_cost(benchmark, rng, n_particles):
     grid_config = GridConfig(shape=(16, 16, 8), cell_size=(1e-5,) * 3)
     grid = YeeGrid(grid_config)
-    old, new, velocities, weights, dt = setup_particles(rng, grid)
+    old, new, velocities, weights, dt = setup_particles(rng, grid, n_particles)
     charge = -constants.ELEMENTARY_CHARGE
 
     benchmark(lambda: deposit_current_cic(grid, new, velocities, charge, weights))
 
     residual = continuity_residual(grid_config, old, new, weights, dt, "cic")
     benchmark.extra_info["continuity_residual"] = f"{residual:.2e}"
-    benchmark.extra_info["particles"] = N_PARTICLES
+    benchmark.extra_info["particles"] = n_particles
     # the direct scheme violates the continuity equation by orders of magnitude
     assert residual > 1e-6

@@ -1,0 +1,41 @@
+"""Hot-path benchmark — fused bincount kernels vs the reference PIC step.
+
+Times one full PIC step (gather → Boris push → Esirkepov deposit → field
+solve) on the bench-tiny KHI problem with both kernel paths and asserts that
+they stay numerically equivalent.  The standalone driver
+``python -m repro.pic.hotpath`` measures the same thing and appends the
+result to ``BENCH_pic_hotpath.json``; this pytest-benchmark variant slots
+the comparison into ``pytest benchmarks/ --benchmark-only`` next to the
+other ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pic.hotpath import (BENCH_TINY_GRID, EQUIVALENCE_RTOL,
+                               _bench_config, check_equivalence)
+from repro.pic.khi import make_khi_simulation
+
+KERNELS = ("reference", "fused")
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_pic_step_cost(benchmark, kernel):
+    simulation = make_khi_simulation(_bench_config(kernel))
+    for _ in range(3):  # warmup: settle allocations and plan caches
+        simulation.step()
+
+    benchmark(simulation.step)
+
+    benchmark.extra_info["kernel"] = kernel
+    benchmark.extra_info["grid"] = "x".join(str(n) for n in BENCH_TINY_GRID)
+    benchmark.extra_info["macro_particles"] = simulation.n_macro_particles
+
+
+def test_fused_matches_reference():
+    """The fused path must reproduce the reference fields and orbits."""
+    error = check_equivalence(n_steps=10)
+    assert np.isfinite(error)
+    assert error < EQUIVALENCE_RTOL

@@ -15,7 +15,10 @@ script) exposes the main entry points of the reproduction:
 * ``streaming-study``  — regenerate the Fig. 6 streaming-throughput table,
 * ``ddp-scan``         — regenerate the Fig. 8 training weak-scaling table,
 * ``khi-info``         — print the Section IV-A KHI setup constants,
-* ``placement``        — compare intra- vs inter-node placement (Fig. 3c).
+* ``placement``        — compare intra- vs inter-node placement (Fig. 3c),
+* ``bench-hotpath``    — benchmark the fused vs reference PIC hot path and
+  append the result to ``BENCH_pic_hotpath.json`` (see
+  ``docs/performance.md``).
 
 ``run`` is built on :mod:`repro.workflow`: it assembles a
 ``WorkflowSession`` from a preset (or a JSON config file) and drives it
@@ -159,6 +162,26 @@ def _build_parser() -> argparse.ArgumentParser:
 
     placement = sub.add_parser("placement", help="Fig. 3c: placement comparison")
     placement.add_argument("--nodes", type=int, default=96)
+
+    hotpath = sub.add_parser(
+        "bench-hotpath",
+        help="benchmark the fused vs reference PIC hot path "
+             "(appends to BENCH_pic_hotpath.json)")
+    hotpath.add_argument("--steps", type=int, default=40,
+                         help="timed steps per kernel (default 40)")
+    hotpath.add_argument("--warmup", type=int, default=5,
+                         help="untimed warmup steps per kernel (default 5)")
+    hotpath.add_argument("--repeats", type=int, default=3,
+                         help="interleaved measurement blocks per kernel; "
+                              "the best block is recorded (default 3)")
+    hotpath.add_argument("--grid", type=int, nargs=3, default=None,
+                         metavar=("NX", "NY", "NZ"),
+                         help="override the bench-tiny grid cells")
+    hotpath.add_argument("--output-dir", type=str, default=".",
+                         help="directory of BENCH_pic_hotpath.json (default .)")
+    hotpath.add_argument("--no-persist", action="store_true",
+                         help="measure and print only; do not touch the "
+                              "BENCH_*.json history")
     return parser
 
 
@@ -549,6 +572,19 @@ def _cmd_placement(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
+    from repro.pic.hotpath import BENCH_TINY_GRID, main as hotpath_main
+
+    grid = args.grid if args.grid is not None else BENCH_TINY_GRID
+    argv = ["--steps", str(args.steps), "--warmup", str(args.warmup),
+            "--repeats", str(args.repeats),
+            "--grid", *(str(n) for n in grid),
+            "--output-dir", args.output_dir]
+    if args.no_persist:
+        argv.append("--no-persist")
+    return hotpath_main(argv)
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "campaign": _cmd_campaign,
@@ -558,6 +594,7 @@ _COMMANDS = {
     "ddp-scan": _cmd_ddp_scan,
     "khi-info": _cmd_khi_info,
     "placement": _cmd_placement,
+    "bench-hotpath": _cmd_bench_hotpath,
 }
 
 

@@ -19,6 +19,11 @@ from repro.pic.pusher import boris_push, advance_positions
 from repro.pic.deposition import (deposit_charge_cic, deposit_current_cic,
                                   deposit_current_esirkepov)
 from repro.pic.interpolation import gather_fields
+from repro.pic.kernels import (CICPlan, CICPlanSet, boris_push_fused,
+                               deposit_charge_cic_fused,
+                               deposit_current_cic_fused,
+                               deposit_current_esirkepov_fused,
+                               gather_fields_fused)
 from repro.pic.maxwell import YeeSolver
 from repro.pic.simulation import PICSimulation, SimulationConfig, Plugin
 from repro.pic.khi import KHIConfig, make_khi_simulation
@@ -28,6 +33,19 @@ from repro.pic.domain import SlabDecomposition
 from repro.pic.benchcase import (ScalingBenchmarkConfig, make_benchmark_simulation,
                                  measured_weak_scaling)
 
+# lazy (PEP 562) so that ``python -m repro.pic.hotpath`` does not import the
+# hotpath module a second time through the package init
+_HOTPATH_EXPORTS = ("HotpathResult", "check_equivalence",
+                    "run_hotpath_benchmark")
+
+
+def __getattr__(name):
+    if name in _HOTPATH_EXPORTS:
+        from repro.pic import hotpath
+        return getattr(hotpath, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "ScalingBenchmarkConfig",
     "make_benchmark_simulation",
@@ -35,6 +53,16 @@ __all__ = [
     "GridConfig",
     "YeeGrid",
     "ParticleSpecies",
+    "CICPlan",
+    "CICPlanSet",
+    "boris_push_fused",
+    "deposit_charge_cic_fused",
+    "deposit_current_cic_fused",
+    "deposit_current_esirkepov_fused",
+    "gather_fields_fused",
+    "HotpathResult",
+    "check_equivalence",
+    "run_hotpath_benchmark",
     "boris_push",
     "advance_positions",
     "deposit_charge_cic",

@@ -38,6 +38,8 @@ class ScalingBenchmarkConfig:
     density: float = 1.0e20
     drift_beta: float = 0.05
     thermal_beta: float = 0.01
+    #: hot-path kernel selection: ``"fused"`` (default) or ``"reference"``
+    kernel: str = "fused"
     seed: Optional[int] = 7
 
     @property
@@ -76,7 +78,8 @@ def make_benchmark_simulation(config: ScalingBenchmarkConfig | None = None,
     electrons = ParticleSpecies.electrons(positions, momenta, weights)
     ions = ParticleSpecies.protons(positions.copy(), momenta.copy(), weights.copy(),
                                    pushed=True)
-    simulation = PICSimulation(SimulationConfig(grid=grid_config), species=[electrons, ions])
+    simulation = PICSimulation(SimulationConfig(grid=grid_config, kernel=config.kernel),
+                               species=[electrons, ions])
     simulation.initialize_fields_from_charge()
     return simulation
 

@@ -10,8 +10,14 @@ Two current-deposition schemes are provided:
   tested in ``tests/pic/test_deposition.py`` and benchmarked in
   ``benchmarks/bench_deposition.py``).
 
-Both use :func:`numpy.add.at` scatter adds so that particles depositing into
-the same cell do not race.
+Every deposition function dispatches between two numerically equivalent
+implementations selected by ``kernel``:
+
+* ``"fused"`` (default) — bincount scatter-adds on raveled linear indices
+  with shared CIC plans and a chunked Esirkepov path
+  (:mod:`repro.pic.kernels`), the hot path of the simulator,
+* ``"reference"`` — the original ``np.add.at`` implementations kept as the
+  readable oracle the fused kernels are tested against.
 """
 
 from __future__ import annotations
@@ -22,6 +28,16 @@ import numpy as np
 
 from repro.pic.grid import STAGGER, YeeGrid
 from repro.pic.interpolation import _cic_indices_weights
+from repro.pic.kernels import (_hat_weights, deposit_charge_cic_fused,
+                               deposit_current_cic_fused,
+                               deposit_current_esirkepov_fused)
+
+
+def _check_kernel(kernel: str) -> bool:
+    """``True`` for the fused path, ``False`` for reference; raises otherwise."""
+    if kernel not in ("fused", "reference"):
+        raise ValueError(f"kernel must be 'fused' or 'reference', got {kernel!r}")
+    return kernel == "fused"
 
 
 def _scatter_cic(target: np.ndarray, positions: np.ndarray, values: np.ndarray,
@@ -45,16 +61,22 @@ def _scatter_cic(target: np.ndarray, positions: np.ndarray, values: np.ndarray,
 
 
 def deposit_charge_cic(grid: YeeGrid, positions: np.ndarray, charge: float,
-                       weights: np.ndarray, accumulate: bool = True) -> np.ndarray:
+                       weights: np.ndarray, accumulate: bool = True,
+                       kernel: str = "fused") -> np.ndarray:
     """Deposit charge density [C/m^3] onto the cell nodes.
 
     Parameters
     ----------
     accumulate:
         If ``False`` the grid's ``rho`` array is zeroed first.
+    kernel:
+        ``"fused"`` (default) or ``"reference"``.
     """
+    fused = _check_kernel(kernel)
     if not accumulate:
         grid.clear_charge()
+    if fused:
+        return deposit_charge_cic_fused(grid, positions, charge, weights)
     dv = grid.config.cell_volume
     values = (charge / dv) * np.asarray(weights, dtype=np.float64)
     _scatter_cic(grid.rho, positions, values, grid.config.cell_size, STAGGER["rho"])
@@ -62,8 +84,12 @@ def deposit_charge_cic(grid: YeeGrid, positions: np.ndarray, charge: float,
 
 
 def deposit_current_cic(grid: YeeGrid, positions: np.ndarray, velocities: np.ndarray,
-                        charge: float, weights: np.ndarray) -> None:
+                        charge: float, weights: np.ndarray,
+                        kernel: str = "fused") -> None:
     """Direct CIC deposition of ``J = q w v / dV`` onto the staggered J grid."""
+    if _check_kernel(kernel):
+        deposit_current_cic_fused(grid, positions, velocities, charge, weights)
+        return
     dv = grid.config.cell_volume
     weights = np.asarray(weights, dtype=np.float64)
     cell = grid.config.cell_size
@@ -72,27 +98,10 @@ def deposit_current_cic(grid: YeeGrid, positions: np.ndarray, velocities: np.nda
         _scatter_cic(grid.component(name), positions, values, cell, STAGGER[name])
 
 
-def _hat_weights(xi: np.ndarray, base: np.ndarray, n_nodes: int = 4) -> np.ndarray:
-    """First-order (hat-function) shape weights on a local node stencil.
-
-    Parameters
-    ----------
-    xi:
-        Normalised particle coordinates along one axis, shape ``(N,)``.
-    base:
-        Integer index of the first node of the local stencil, shape ``(N,)``.
-
-    Returns
-    -------
-    ``(N, n_nodes)`` array with ``S[s] = max(0, 1 - |xi - (base + s)|)``.
-    """
-    nodes = base[:, None] + np.arange(n_nodes)[None, :]
-    return np.maximum(0.0, 1.0 - np.abs(xi[:, None] - nodes))
-
-
 def deposit_current_esirkepov(grid: YeeGrid, old_positions: np.ndarray,
                               new_positions: np.ndarray, charge: float,
-                              weights: np.ndarray, dt: float) -> None:
+                              weights: np.ndarray, dt: float,
+                              kernel: str = "fused") -> None:
     """Charge-conserving (Esirkepov, first order) current deposition.
 
     The particle may move at most one cell per time step (guaranteed by the
@@ -108,7 +117,13 @@ def deposit_current_esirkepov(grid: YeeGrid, old_positions: np.ndarray,
         positions so that the displacement is continuous).
     charge, weights, dt:
         Real-particle charge [C], macro-particle weights, time step [s].
+    kernel:
+        ``"fused"`` (default, chunked bincount scatter) or ``"reference"``.
     """
+    if _check_kernel(kernel):
+        deposit_current_esirkepov_fused(grid, old_positions, new_positions,
+                                        charge, weights, dt)
+        return
     old_positions = np.asarray(old_positions, dtype=np.float64)
     new_positions = np.asarray(new_positions, dtype=np.float64)
     weights = np.asarray(weights, dtype=np.float64)

@@ -1,0 +1,223 @@
+"""The PIC hot-path benchmark: fused vs reference kernels, persisted.
+
+Measures steps/second of the full PIC step (gather → push → Esirkepov
+deposit → field solve) on the bench-tiny KHI problem with both kernel paths,
+checks that they stay numerically equivalent, and appends the result to
+``BENCH_pic_hotpath.json`` at the repository root so the perf trajectory of
+the hot path is tracked across commits (see ``docs/performance.md``).
+
+Run it with ``python -m repro.pic.hotpath`` or ``python -m repro.cli
+bench-hotpath``; the exit status is non-zero when the fused and reference
+paths disagree, which lets CI use the benchmark as an equivalence gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.pic.khi import KHIConfig, make_khi_simulation
+from repro.pic.simulation import PICSimulation
+
+#: bench-tiny problem: the KHI grid/ppc of the ``bench-tiny`` workflow preset.
+BENCH_TINY_GRID = (8, 16, 2)
+BENCH_TINY_PPC = 4
+
+#: relative tolerance of the fused-vs-reference field comparison; the paths
+#: differ only in floating-point summation order, which stays many orders of
+#: magnitude below this over a handful of steps
+EQUIVALENCE_RTOL = 1e-9
+
+
+@dataclass
+class HotpathResult:
+    """One hot-path measurement: per-kernel rates plus the equivalence check."""
+
+    steps_per_sec: Dict[str, float]
+    sections_ms: Dict[str, Dict[str, float]]
+    n_steps: int
+    n_macro_particles: int
+    grid_shape: Tuple[int, int, int]
+    equivalence_error: float
+    equivalent: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.steps_per_sec["fused"] / self.steps_per_sec["reference"]
+
+    def params(self) -> Dict[str, object]:
+        return {"grid_shape": list(self.grid_shape),
+                "particles_per_cell": BENCH_TINY_PPC,
+                "n_macro_particles": self.n_macro_particles,
+                "n_steps": self.n_steps}
+
+    def metrics(self) -> Dict[str, object]:
+        return {"steps_per_sec": self.steps_per_sec,
+                "speedup": self.speedup,
+                "sections_ms_per_step": self.sections_ms,
+                "equivalence_error": self.equivalence_error,
+                "equivalent": self.equivalent}
+
+
+def _bench_config(kernel: str, grid_shape=BENCH_TINY_GRID,
+                  seed: int = 11) -> KHIConfig:
+    return KHIConfig(grid_shape=tuple(grid_shape),
+                     particles_per_cell=BENCH_TINY_PPC, seed=seed,
+                     kernel=kernel)
+
+
+def _time_kernel(kernel: str, n_steps: int, warmup: int,
+                 grid_shape) -> Tuple[float, Dict[str, float], PICSimulation]:
+    """Steps/sec and per-section ms/step of one kernel path."""
+    simulation = make_khi_simulation(_bench_config(kernel, grid_shape))
+    for _ in range(warmup):
+        simulation.step()
+    simulation.timer.reset()
+    start = time.perf_counter()
+    for _ in range(n_steps):
+        simulation.step()
+    wall = time.perf_counter() - start
+    sections = {name: 1e3 * total / n_steps
+                for name, total in simulation.timer.totals().items()}
+    return n_steps / wall, sections, simulation
+
+
+def check_equivalence(n_steps: int = 10,
+                      grid_shape=BENCH_TINY_GRID) -> float:
+    """Max relative field/position deviation, fused vs reference, after a run.
+
+    Both paths step the *same* initial state; the return value is the worst
+    relative difference over all six field components and the particle
+    positions of every species.
+    """
+    sims = {kernel: make_khi_simulation(_bench_config(kernel, grid_shape))
+            for kernel in ("fused", "reference")}
+    for simulation in sims.values():
+        for _ in range(n_steps):
+            simulation.step()
+    fused, reference = sims["fused"], sims["reference"]
+    worst = 0.0
+    for name in ("Ex", "Ey", "Ez", "Bx", "By", "Bz"):
+        a = fused.grid.component(name)
+        b = reference.grid.component(name)
+        scale = np.max(np.abs(b)) + 1e-300
+        worst = max(worst, float(np.max(np.abs(a - b)) / scale))
+    for s_fused, s_ref in zip(fused.species, reference.species):
+        scale = np.max(np.abs(s_ref.positions)) + 1e-300
+        worst = max(worst, float(np.max(np.abs(s_fused.positions
+                                               - s_ref.positions)) / scale))
+    return worst
+
+
+def run_hotpath_benchmark(n_steps: int = 40, warmup: int = 5,
+                          equivalence_steps: int = 10, repeats: int = 3,
+                          grid_shape=BENCH_TINY_GRID) -> HotpathResult:
+    """Measure both kernel paths and their equivalence on bench-tiny.
+
+    The two kernels are measured in ``repeats`` interleaved blocks and the
+    best block per kernel is kept: background load hits both paths alike
+    instead of whichever happened to run during a busy window, and the
+    minimum is the usual robust wall-clock estimator.
+    """
+    if n_steps < 1:
+        raise ValueError("n_steps must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    rates: Dict[str, float] = {}
+    sections: Dict[str, Dict[str, float]] = {}
+    n_macro = 0
+    for _ in range(repeats):
+        for kernel in ("reference", "fused"):
+            rate, per_section, simulation = _time_kernel(kernel, n_steps,
+                                                         warmup, grid_shape)
+            if rate > rates.get(kernel, 0.0):
+                rates[kernel] = rate
+                sections[kernel] = per_section
+            n_macro = simulation.n_macro_particles
+    error = check_equivalence(equivalence_steps, grid_shape)
+    return HotpathResult(steps_per_sec=rates, sections_ms=sections,
+                         n_steps=n_steps, n_macro_particles=n_macro,
+                         grid_shape=tuple(grid_shape),
+                         equivalence_error=error,
+                         equivalent=error < EQUIVALENCE_RTOL)
+
+
+def persist_result(result: HotpathResult, directory: str = ".") -> str:
+    """Append ``result`` to ``BENCH_pic_hotpath.json``; returns the path."""
+    from repro.utils.benchjson import append_run
+
+    return append_run("pic_hotpath", result.params(), result.metrics(),
+                      directory)
+
+
+def format_result(result: HotpathResult) -> str:
+    lines = [
+        f"PIC hot path, {'x'.join(str(n) for n in result.grid_shape)} cells, "
+        f"{result.n_macro_particles} macro-particles, {result.n_steps} steps:",
+    ]
+    for kernel in ("reference", "fused"):
+        split = ", ".join(f"{name} {ms:.2f}" for name, ms in
+                          sorted(result.sections_ms[kernel].items(),
+                                 key=lambda kv: -kv[1]) if ms >= 0.01)
+        lines.append(f"  {kernel:>9}: {result.steps_per_sec[kernel]:7.1f} "
+                     f"steps/s  (ms/step: {split})")
+    lines.append(f"  speedup  : {result.speedup:.2f}x")
+    status = "OK" if result.equivalent else "FAILED"
+    lines.append(f"  fused == reference: {status} "
+                 f"(max rel deviation {result.equivalence_error:.2e})")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pic.hotpath",
+        description="benchmark the fused vs reference PIC hot path on the "
+                    "bench-tiny problem and append to BENCH_pic_hotpath.json")
+    parser.add_argument("--steps", type=int, default=40,
+                        help="timed steps per kernel (default 40)")
+    parser.add_argument("--warmup", type=int, default=5,
+                        help="untimed warmup steps per kernel (default 5)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="interleaved measurement blocks per kernel; the "
+                             "best block is recorded (default 3)")
+    parser.add_argument("--grid", type=int, nargs=3, default=BENCH_TINY_GRID,
+                        metavar=("NX", "NY", "NZ"),
+                        help="override the bench-tiny grid cells")
+    parser.add_argument("--output-dir", type=str, default=".",
+                        help="directory of BENCH_pic_hotpath.json (default .)")
+    parser.add_argument("--no-persist", action="store_true",
+                        help="measure and print only; do not touch the "
+                             "BENCH_*.json history")
+    args = parser.parse_args(argv)
+    if args.steps < 1:
+        print("error: --steps must be >= 1", file=sys.stderr)
+        return 2
+    if args.warmup < 0:
+        print("error: --warmup must be >= 0", file=sys.stderr)
+        return 2
+
+    if args.repeats < 1:
+        print("error: --repeats must be >= 1", file=sys.stderr)
+        return 2
+    result = run_hotpath_benchmark(n_steps=args.steps, warmup=args.warmup,
+                                   repeats=args.repeats,
+                                   grid_shape=tuple(args.grid))
+    print(format_result(result))
+    if not args.no_persist:
+        path = persist_result(result, args.output_dir)
+        print(f"  recorded in {path}")
+    if not result.equivalent:
+        print("error: fused and reference kernels disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

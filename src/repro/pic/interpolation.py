@@ -3,6 +3,14 @@
 Every Yee component is interpolated to the particle positions with trilinear
 weights evaluated on its own staggered sub-grid, matching how PIConGPU
 assigns fields to macro-particles (first-order assignment function).
+
+:func:`gather_fields` dispatches between two numerically equivalent
+implementations selected by ``kernel``:
+
+* ``"fused"`` (default) — one shared index/weight plan reused across all six
+  components (:mod:`repro.pic.kernels`), the hot path of the simulator,
+* ``"reference"`` — the per-component scalar-indexed implementation kept as
+  the readable oracle the fused kernels are tested against.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.pic.grid import STAGGER, YeeGrid
+from repro.pic.kernels import gather_fields_fused
 
 
 def _cic_indices_weights(positions: np.ndarray, cell_size: Tuple[float, float, float],
@@ -28,8 +37,10 @@ def _cic_indices_weights(positions: np.ndarray, cell_size: Tuple[float, float, f
 
     Returns
     -------
-    ``(i0, frac)`` with ``i0`` integer arrays ``(N, 3)`` (already wrapped
-    periodically) and ``frac`` the fractional offsets ``(N, 3)`` in ``[0, 1)``.
+    ``(i0, frac)`` with ``i0`` integer arrays ``(N, 3)`` (*unwrapped* — the
+    callers apply the periodic ``% shape`` wrap, and the Esirkepov stencil
+    needs the raw floor index) and ``frac`` the fractional offsets ``(N, 3)``
+    in ``[0, 1)``.
     """
     pos = np.asarray(positions, dtype=np.float64)
     cell = np.asarray(cell_size, dtype=np.float64)
@@ -62,13 +73,24 @@ def gather_component(field: np.ndarray, positions: np.ndarray,
     return out
 
 
-def gather_fields(grid: YeeGrid, positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def gather_fields(grid: YeeGrid, positions: np.ndarray,
+                  kernel: str = "fused") -> Tuple[np.ndarray, np.ndarray]:
     """Interpolate E and B to the particle positions.
+
+    Parameters
+    ----------
+    kernel:
+        ``"fused"`` (default, shared-plan bincount kernels) or
+        ``"reference"`` (the original per-component implementation).
 
     Returns
     -------
     ``(E, B)`` each of shape ``(N, 3)`` in SI units (V/m and T).
     """
+    if kernel == "fused":
+        return gather_fields_fused(grid, positions)
+    if kernel != "reference":
+        raise ValueError(f"kernel must be 'fused' or 'reference', got {kernel!r}")
     positions = np.asarray(positions, dtype=np.float64)
     if positions.ndim != 2 or positions.shape[1] != 3:
         raise ValueError("positions must have shape (N, 3)")

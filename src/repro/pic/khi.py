@@ -56,6 +56,9 @@ class KHIConfig:
     #: stream is current neutral and the instability grows from noise.
     immobile_ions: bool = False
     current_deposition: str = "esirkepov"
+    #: hot-path kernel selection: ``"fused"`` (default) or ``"reference"``
+    #: (see :mod:`repro.pic.kernels` and ``docs/performance.md``)
+    kernel: str = "fused"
     dt: Optional[float] = None
     seed: Optional[int] = 42
 
@@ -149,7 +152,8 @@ def make_khi_simulation(config: KHIConfig | None = None,
     electrons = ParticleSpecies.electrons(positions, momenta, weights)
 
     sim_config = SimulationConfig(grid=grid_config, dt=config.dt,
-                                  current_deposition=config.current_deposition)
+                                  current_deposition=config.current_deposition,
+                                  kernel=config.kernel)
     simulation = PICSimulation(sim_config, species=[electrons])
 
     if config.immobile_ions:

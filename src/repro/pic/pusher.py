@@ -72,5 +72,6 @@ def advance_positions(species: ParticleSpecies, dt: float,
         extent = np.asarray(box_extent, dtype=np.float64)
         species.positions = np.mod(new_positions, extent)
     else:
-        species.positions = new_positions.copy()
+        # the sum above already allocated a fresh array — no defensive copy
+        species.positions = new_positions
     return new_positions

@@ -23,6 +23,7 @@ from repro.pic.deposition import (deposit_charge_cic, deposit_current_cic,
 from repro.pic.fom import FigureOfMerit, figure_of_merit
 from repro.pic.grid import GridConfig, YeeGrid
 from repro.pic.interpolation import gather_fields
+from repro.pic.kernels import boris_push_fused
 from repro.pic.maxwell import YeeSolver
 from repro.pic.particles import ParticleSpecies
 from repro.pic.pusher import advance_positions, boris_push
@@ -61,12 +62,18 @@ class SimulationConfig:
     deposit_charge_density:
         Whether to additionally deposit ``rho`` every step (needed by some
         diagnostics; costs one extra scatter pass).
+    kernel:
+        ``"fused"`` (default) runs the gather/push/deposit hot path on the
+        shared-plan bincount kernels of :mod:`repro.pic.kernels`;
+        ``"reference"`` runs the original implementations (the oracle the
+        fused kernels are verified against — see ``docs/performance.md``).
     """
 
     grid: GridConfig
     dt: Optional[float] = None
     current_deposition: str = "esirkepov"
     deposit_charge_density: bool = False
+    kernel: str = "fused"
 
     def __post_init__(self) -> None:
         if self.dt is None:
@@ -77,6 +84,8 @@ class SimulationConfig:
             raise ValueError("dt violates the CFL limit of the grid")
         if self.current_deposition not in ("esirkepov", "cic"):
             raise ValueError("current_deposition must be 'esirkepov' or 'cic'")
+        if self.kernel not in ("fused", "reference"):
+            raise ValueError("kernel must be 'fused' or 'reference'")
 
 
 class PICSimulation:
@@ -123,7 +132,8 @@ class PICSimulation:
         """Deposit the initial charge density (used for Gauss-law diagnostics)."""
         self.grid.clear_charge()
         for s in self.species:
-            deposit_charge_cic(self.grid, s.positions, s.charge, s.weights)
+            deposit_charge_cic(self.grid, s.positions, s.charge, s.weights,
+                               kernel=self.config.kernel)
 
     def step(self) -> None:
         """Advance the whole system by one time step."""
@@ -134,30 +144,40 @@ class PICSimulation:
         dt = self.config.dt
         extent = self.config.grid.extent
         grid = self.grid
+        kernel = self.config.kernel
+        push = boris_push_fused if kernel == "fused" else boris_push
 
         grid.clear_currents()
         for s in self.species:
             if not s.pushed:
                 continue
             with self.timer.section("gather"):
-                e_at_p, b_at_p = gather_fields(grid, s.positions)
-            with self.timer.section("push"):
-                boris_push(s, e_at_p, b_at_p, dt)
-                old_positions = s.positions.copy()
-                new_positions = advance_positions(s, dt, box_extent=extent)
-            with self.timer.section("deposit"):
-                if self.config.current_deposition == "esirkepov":
+                e_at_p, b_at_p = gather_fields(grid, s.positions, kernel=kernel)
+            if self.config.current_deposition == "esirkepov":
+                with self.timer.section("push"):
+                    push(s, e_at_p, b_at_p, dt)
+                    # advance_positions rebinds (never mutates) the stored
+                    # array, so the pre-push positions survive without a copy
+                    old_positions = s.positions
+                    new_positions = advance_positions(s, dt, box_extent=extent)
+                with self.timer.section("deposit"):
                     deposit_current_esirkepov(grid, old_positions, new_positions,
-                                              s.charge, s.weights, dt)
-                else:
+                                              s.charge, s.weights, dt,
+                                              kernel=kernel)
+            else:
+                with self.timer.section("push"):
+                    push(s, e_at_p, b_at_p, dt)
+                    advance_positions(s, dt, box_extent=extent)
+                with self.timer.section("deposit"):
                     velocities = s.velocities()
                     deposit_current_cic(grid, s.positions, velocities, s.charge,
-                                        s.weights)
+                                        s.weights, kernel=kernel)
         if self.config.deposit_charge_density:
             with self.timer.section("deposit"):
                 grid.clear_charge()
                 for s in self.species:
-                    deposit_charge_cic(grid, s.positions, s.charge, s.weights)
+                    deposit_charge_cic(grid, s.positions, s.charge, s.weights,
+                                       kernel=kernel)
         with self.timer.section("fields"):
             self.solver.step(dt)
         self.step_index += 1

@@ -1,5 +1,7 @@
-"""Shared utilities: deterministic RNG, timers, validation, serialisation."""
+"""Shared utilities: deterministic RNG, timers, validation, serialisation,
+persisted benchmark histories."""
 
+from repro.utils.benchjson import append_run, bench_path, latest_run, load_history
 from repro.utils.rng import RandomState, seeded_rng, spawn_rngs
 from repro.utils.serialization import jsonable
 from repro.utils.timer import Timer, WallClock, timed
@@ -11,6 +13,10 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "append_run",
+    "bench_path",
+    "latest_run",
+    "load_history",
     "RandomState",
     "seeded_rng",
     "spawn_rngs",

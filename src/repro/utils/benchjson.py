@@ -1,0 +1,120 @@
+"""Persisted benchmark histories (``BENCH_<topic>.json``).
+
+A repo-level performance trajectory: every benchmark run appends one record
+(timestamp, git revision, parameters, metrics) to ``BENCH_<topic>.json`` at
+the repository root, so regressions and improvements are visible across
+commits without an external dashboard.
+
+File schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "topic": "pic_hotpath",
+      "runs": [
+        {
+          "timestamp": "2026-08-08T12:34:56+00:00",
+          "git_revision": "3b80baa",
+          "params": {...},
+          "metrics": {...}
+        },
+        ...
+      ]
+    }
+
+Writes are atomic (temp file + ``os.replace``) so a crashed benchmark never
+corrupts the history; unknown or corrupt files fail loudly rather than being
+silently overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from datetime import datetime, timezone
+from typing import Dict, List, Optional
+
+from repro.utils.serialization import jsonable
+
+SCHEMA_VERSION = 1
+
+
+def bench_path(topic: str, directory: str = ".") -> str:
+    """The ``BENCH_<topic>.json`` path of ``topic`` under ``directory``."""
+    if not topic or any(c in topic for c in "/\\ "):
+        raise ValueError(f"invalid benchmark topic {topic!r}")
+    return os.path.join(directory, f"BENCH_{topic}.json")
+
+
+def git_revision(directory: str = ".") -> Optional[str]:
+    """The short git revision of ``directory``, or ``None`` outside a repo."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             cwd=directory or ".", capture_output=True,
+                             text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def make_record(params: Dict[str, object], metrics: Dict[str, object],
+                directory: str = ".") -> Dict[str, object]:
+    """One run record: UTC timestamp + git revision + params + metrics."""
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_revision": git_revision(directory),
+        "params": jsonable(params),
+        "metrics": jsonable(metrics),
+    }
+
+
+def load_history(path: str) -> Dict[str, object]:
+    """Load a benchmark history file, validating the schema."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "runs" not in data:
+        raise ValueError(f"{path} is not a benchmark history file")
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"{path} has unsupported schema version {version!r} "
+                         f"(expected {SCHEMA_VERSION})")
+    if not isinstance(data["runs"], list):
+        raise ValueError(f"{path} holds a non-list 'runs' entry")
+    return data
+
+
+def append_run(topic: str, params: Dict[str, object],
+               metrics: Dict[str, object], directory: str = ".") -> str:
+    """Append one run record to ``BENCH_<topic>.json``; returns the path.
+
+    Creates the file (with the schema header) on first use.  The write is
+    atomic: the updated history lands in a temp file first and replaces the
+    original in one ``os.replace``.
+    """
+    path = bench_path(topic, directory)
+    os.makedirs(directory or ".", exist_ok=True)
+    if os.path.exists(path):
+        history = load_history(path)
+        if history["topic"] != topic:
+            raise ValueError(f"{path} records topic {history['topic']!r}, "
+                             f"refusing to append topic {topic!r}")
+    else:
+        history = {"schema_version": SCHEMA_VERSION, "topic": topic, "runs": []}
+    history["runs"].append(make_record(params, metrics, directory))
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def latest_run(topic: str, directory: str = ".") -> Optional[Dict[str, object]]:
+    """The most recent record of ``topic``, or ``None`` without history."""
+    path = bench_path(topic, directory)
+    if not os.path.exists(path):
+        return None
+    runs: List[Dict[str, object]] = load_history(path)["runs"]
+    return runs[-1] if runs else None

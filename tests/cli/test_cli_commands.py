@@ -147,6 +147,21 @@ class TestStudyCommands:
         out = capsys.readouterr().out
         assert "intra_node" in out and "inter_node" in out
 
+    def test_bench_hotpath_no_persist(self, capsys):
+        assert cli_main(["bench-hotpath", "--steps", "2", "--warmup", "1",
+                         "--repeats", "1", "--no-persist"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "fused == reference: OK" in out
+
+    def test_bench_hotpath_writes_history(self, capsys, tmp_path):
+        from repro.utils.benchjson import latest_run
+
+        assert cli_main(["bench-hotpath", "--steps", "2", "--warmup", "1",
+                         "--repeats", "1", "--output-dir", str(tmp_path)]) == 0
+        record = latest_run("pic_hotpath", str(tmp_path))
+        assert record is not None
+        assert record["metrics"]["equivalent"] is True
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             cli_main(["transmogrify"])
