@@ -21,6 +21,7 @@ __version__ = "1.0.0"
 
 _SUBPACKAGES = (
     "analysis",
+    "campaign",
     "constants",
     "continual",
     "core",
@@ -30,6 +31,7 @@ _SUBPACKAGES = (
     "perfmodel",
     "pic",
     "radiation",
+    "service",
     "streaming",
     "utils",
     "workflow",
@@ -51,5 +53,6 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro import (analysis, constants, continual, core, mlcore, models,  # noqa: F401
-                       openpmd, perfmodel, pic, radiation, streaming, utils, workflow)
+    from repro import (analysis, campaign, constants, continual, core,  # noqa: F401
+                       mlcore, models, openpmd, perfmodel, pic, radiation,
+                       service, streaming, utils, workflow)

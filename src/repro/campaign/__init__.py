@@ -27,7 +27,8 @@ CLI access: ``python -m repro.cli campaign run|status|report``.
 See ``docs/campaigns.md`` and ``docs/extending-executors.md``.
 """
 
-from repro.campaign.aggregate import CampaignReport, aggregate
+from repro.campaign.aggregate import (CampaignReport, aggregate,
+                                      status_document)
 from repro.campaign.cache import ResultCache
 from repro.campaign.presets import (available_campaign_presets,
                                     get_campaign_preset,
@@ -77,6 +78,7 @@ __all__ = [
     "CampaignOutcome",
     "CampaignReport",
     "aggregate",
+    "status_document",
     "available_campaign_presets",
     "get_campaign_preset",
     "register_campaign_preset",

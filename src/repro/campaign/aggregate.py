@@ -21,6 +21,49 @@ from typing import Dict, List, Optional, Sequence
 from repro.campaign.store import RunRecord
 
 
+def status_document(campaign: str, total_runs: int,
+                    records: Sequence[RunRecord], store: Optional[str] = None,
+                    include_records: bool = False) -> Dict[str, object]:
+    """The machine-readable campaign status document.
+
+    One serializer, two transports: ``campaign status --json`` on the CLI
+    and ``GET /v1/campaigns/{id}`` on the :mod:`repro.service` control
+    plane emit exactly this shape, so clients never have to reconcile two
+    status schemas.
+
+    Args:
+        campaign: the campaign name.
+        total_runs: resolved size of the campaign (``len(spec.resolve())``).
+        records: the campaign's recorded runs (latest record per run id,
+            already scoped to this campaign's run ids).
+        store: optional store path to include (the CLI always has one).
+        include_records: append a ``records`` list with one
+            :meth:`repro.campaign.store.RunRecord.to_dict` row per recorded
+            run — the service's per-run detail; the CLI summary omits it.
+
+    Returns:
+        A flat JSON-able dict: counts (``total_runs`` / ``completed`` /
+        ``failed`` / ``pending``), cache provenance (``cached``) and the
+        terminal flag ``done``.
+    """
+    completed = sum(1 for record in records if record.completed)
+    document: Dict[str, object] = {
+        "campaign": campaign,
+        "total_runs": int(total_runs),
+        "completed": completed,
+        "failed": len(records) - completed,
+        "pending": int(total_runs) - completed,
+        "cached": sum(1 for record in records
+                      if record.completed and record.cached),
+        "done": completed == int(total_runs),
+    }
+    if store is not None:
+        document["store"] = str(store)
+    if include_records:
+        document["records"] = [record.to_dict() for record in records]
+    return document
+
+
 def _stats(values: Sequence[float]) -> Dict[str, float]:
     """Mean / min / max over a non-empty value list (JSON-able floats)."""
     values = [float(v) for v in values]

@@ -35,6 +35,8 @@ skips cached runs without knowing the cache exists.
 
 from __future__ import annotations
 
+import logging
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
     ThreadPoolExecutor, wait
@@ -44,6 +46,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Type
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import (CampaignStore, RunRecord, STATUS_COMPLETED,
                                   STATUS_FAILED)
+
+logger = logging.getLogger(__name__)
 
 #: Executes one resolved run payload and returns a JSON-able summary dict.
 RunWorker = Callable[[Dict[str, object]], Dict[str, object]]
@@ -352,7 +356,12 @@ def run_campaign(spec: CampaignSpec, store: CampaignStore,
             coupled workflow run).
         max_runs: at most this many pending runs this launch (cache hits
             count against the bound — they consume pending slots).
-        on_record: observer invoked once per produced record.
+        on_record: observer invoked once per produced record.  Dispatch is
+            serialised with the store append under one lock (concurrent
+            executors produce records from several threads), and a raising
+            observer is logged and detached — a broken progress reporter or
+            event subscriber must not kill the executor drain loop mid-
+            campaign.  Store/cache write failures still abort the launch.
         runs: pre-resolved ``spec.resolve()`` list (skips re-resolution).
         completed_ids: pre-read ``store.completed_run_ids()`` set.
         cache: optional :class:`repro.campaign.cache.ResultCache`; pending
@@ -380,12 +389,33 @@ def run_campaign(spec: CampaignSpec, store: CampaignStore,
         deferred = max(0, len(pending) - max_runs)
         pending = pending[:max_runs]
 
+    record_lock = threading.Lock()
+    observer = {"callback": on_record}
+
     def record_and_store(record: RunRecord) -> None:
-        store.append(record)
-        if cache is not None:
-            cache.put(record)   # refuses failed + already-cached records
-        if on_record is not None:
-            on_record(record)
+        # one lock around append + cache + dispatch: concurrent executors
+        # call this from pool/drain threads, and observers (progress
+        # printers, event buses) must see records one at a time, in the
+        # order they were persisted
+        with record_lock:
+            store.append(record)
+            if cache is not None:
+                cache.put(record)   # refuses failed + already-cached records
+            callback = observer["callback"]
+            if callback is None:
+                return
+            try:
+                callback(record)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException:  # noqa: BLE001 - observer bug, not ours
+                # a broken observer must not kill the drain loop (and with
+                # it every in-flight run); detach it and keep executing
+                observer["callback"] = None
+                logger.exception(
+                    "campaign %r: on_record observer raised on run %s; "
+                    "detaching it for the rest of this launch",
+                    spec.name, record.run_id)
 
     # cache pass first: whatever is already computed anywhere is recorded
     # into this campaign's store without dispatching it to the executor

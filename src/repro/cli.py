@@ -8,8 +8,12 @@ script) exposes the main entry points of the reproduction:
   workflow configuration, execution strategy and extra consumers;
   ``--json`` emits the machine-readable ``RunResult`` dump),
 * ``campaign``         — parameter-sweep / ensemble campaigns over many
-  workflow runs (``campaign run|status|report``, see
-  :mod:`repro.campaign`),
+  workflow runs (``campaign run|status|report`` locally,
+  ``campaign submit|watch --url`` against a running service, see
+  :mod:`repro.campaign` and :mod:`repro.service`),
+* ``serve``            — the campaign control plane as an HTTP service
+  (submit over ``POST /v1/campaigns``, watch runs land live over SSE;
+  see ``docs/service.md``),
 * ``presets``          — list the named workflow presets and drivers,
 * ``fom-scan``         — regenerate the Fig. 4 FOM weak-scaling table,
 * ``streaming-study``  — regenerate the Fig. 6 streaming-throughput table,
@@ -147,7 +151,47 @@ def _build_parser() -> argparse.ArgumentParser:
     add_campaign_selectors(campaign_sub.add_parser(
         "report", help="aggregate the campaign's recorded runs"))
 
+    submit = campaign_sub.add_parser(
+        "submit", help="submit a campaign to a running service "
+                       "(see the 'serve' command)")
+    submit.add_argument("--url", type=str, required=True,
+                        help="service base URL, e.g. http://127.0.0.1:8765")
+    submit.add_argument("--spec", type=str, default=None,
+                        help="CampaignSpec JSON file")
+    submit.add_argument("--preset", type=str, default=None,
+                        help="named campaign preset (e.g. campaign-smoke)")
+    submit.add_argument("--executor", type=str, default=None,
+                        help="campaign executor the service should use")
+    submit.add_argument("--max-workers", type=int, default=None)
+    submit.add_argument("--retries", type=int, default=None)
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="per-run wall-clock budget in seconds")
+    submit.add_argument("--cache-dir", type=str, default=None,
+                        help="server-side result-cache directory")
+    submit.add_argument("--json", action="store_true",
+                        help="print the submission document as JSON")
+
+    watch = campaign_sub.add_parser(
+        "watch", help="stream a campaign's runs live over SSE")
+    watch.add_argument("campaign_id", type=str,
+                       help="the campaign id returned by 'campaign submit'")
+    watch.add_argument("--url", type=str, required=True,
+                       help="service base URL, e.g. http://127.0.0.1:8765")
+    watch.add_argument("--json", action="store_true",
+                       help="print one JSON line per SSE event")
+
     sub.add_parser("presets", help="list the workflow presets and drivers")
+
+    serve = sub.add_parser(
+        "serve", help="run the campaign control plane as an HTTP service")
+    serve.add_argument("--host", type=str, default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port (default 8765; 0 picks a free port)")
+    serve.add_argument("--store-dir", type=str, default="campaign-service",
+                       help="directory of the campaign stores + specs — the "
+                            "service's only persistent state "
+                            "(default campaign-service/)")
 
     sub.add_parser("fom-scan", help="Fig. 4: FOM weak scaling (Frontier vs Summit)")
 
@@ -424,17 +468,16 @@ def _campaign_records(args: argparse.Namespace):
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import status_document
+
     try:
         spec, store, runs, records = _campaign_records(args)
     except (ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    completed = sum(1 for record in records if record.completed)
-    status = {"campaign": spec.name, "store": store.path,
-              "total_runs": len(runs), "completed": completed,
-              "failed": len(records) - completed,
-              "pending": len(runs) - completed,
-              "done": completed == len(runs)}
+    # the same serializer the service's GET /v1/campaigns/{id} emits, so
+    # local and remote tooling read one status schema
+    status = status_document(spec.name, len(runs), records, store=store.path)
     if args.json:
         print(json.dumps(status, indent=2))
     else:
@@ -463,15 +506,104 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_event(event, as_json: bool) -> None:
+    """Render one SSE event for ``campaign watch`` (text or JSON lines)."""
+    if as_json:
+        print(json.dumps(_jsonable({"event": event.event, "id": event.id,
+                                    "data": event.data})), flush=True)
+        return
+    data = event.data
+    if event.event in ("run", "snapshot"):
+        loss = (data.get("summary") or {}).get("final_total_loss")
+        detail = (f"loss {loss:.4f}" if isinstance(loss, float)
+                  else (data.get("error") or ""))
+        if data.get("cached"):
+            detail = f"(cached) {detail}"
+        print(f"  [{data.get('run_id')}] {event.event:>9} "
+              f"{data.get('status', ''):>9}  {detail}", flush=True)
+    elif event.event == "dropped":
+        print(f"  ! {data.get('dropped')} event(s) dropped (slow consumer); "
+              f"re-check campaign status for the full picture", flush=True)
+    else:
+        print(f"{event.event}: " + ", ".join(
+            f"{key}: {data[key]}" for key in
+            ("campaign", "state", "total_runs", "completed", "failed",
+             "cached") if key in data), flush=True)
+
+
+def _cmd_campaign_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        spec = _campaign_spec(args)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    client = ServiceClient(args.url)
+    try:
+        document = client.submit(
+            spec=spec.to_dict(), executor=args.executor,
+            max_workers=args.max_workers, retries=args.retries,
+            timeout=args.timeout, cache_dir=args.cache_dir)
+    except (ServiceError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(_jsonable(document), indent=2))
+    else:
+        print(f"campaign {document['campaign']!r} submitted as "
+              f"{document['campaign_id']} (state {document['state']}, "
+              f"{document['total_runs']} runs, "
+              f"{document['completed']} already complete)")
+        print(f"watch it: python -m repro.cli campaign watch "
+              f"--url {args.url} {document['campaign_id']}")
+    return 0
+
+
+def _cmd_campaign_watch(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    final_state = None
+    try:
+        for event in client.watch(args.campaign_id):
+            _print_event(event, args.json)
+            if event.event == "done":
+                final_state = event.data.get("state")
+    except (ServiceError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0 if final_state == "completed" else 1
+
+
 _CAMPAIGN_COMMANDS = {
     "run": _cmd_campaign_run,
     "status": _cmd_campaign_status,
     "report": _cmd_campaign_report,
+    "submit": _cmd_campaign_submit,
+    "watch": _cmd_campaign_watch,
 }
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     return _CAMPAIGN_COMMANDS[args.campaign_command](args)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve as serve_service
+
+    def banner(server) -> None:
+        print(f"campaign service listening on {server.url} "
+              f"(store dir {server.manager.store_dir}); Ctrl-C stops it",
+              flush=True)
+
+    try:
+        return serve_service(args.host, args.port, args.store_dir,
+                             ready=banner)
+    except OSError as error:
+        # e.g. the port is taken or the store dir is not writable
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 def _cmd_presets(_: argparse.Namespace) -> int:
@@ -588,6 +720,7 @@ def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
     "presets": _cmd_presets,
     "fom-scan": _cmd_fom_scan,
     "streaming-study": _cmd_streaming_study,

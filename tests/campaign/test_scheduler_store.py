@@ -277,6 +277,28 @@ class TestRunCampaign:
         assert second.executed == 2 and second.completed == 2 and second.done
         assert store.counts() == {"completed": 2, "failed": 0}
 
+    def test_raising_observer_is_detached_not_fatal(self, tmp_path, caplog):
+        """The service guarantee: a buggy ``on_record`` observer must not
+        kill the launch — it is logged and detached, and every run still
+        executes and lands in the store."""
+        spec = smoke_spec()
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        calls = []
+
+        def bad_observer(record):
+            calls.append(record.run_id)
+            raise RuntimeError("subscriber bug")
+
+        with caplog.at_level("ERROR", logger="repro.campaign.scheduler"):
+            outcome = run_campaign(spec, store, worker=fake_worker,
+                                   on_record=bad_observer)
+        assert outcome.completed == 8 and outcome.done
+        assert store.counts() == {"completed": 8, "failed": 0}
+        # the observer raised on its first record and was detached for the
+        # rest of the launch — not retried per record
+        assert calls == [store.records()[0].run_id]
+        assert any("detaching" in message for message in caplog.messages)
+
     def test_max_runs_bounds_a_launch(self, tmp_path):
         spec = smoke_spec()
         store = CampaignStore(str(tmp_path / "log.jsonl"))

@@ -1,8 +1,11 @@
-"""Smoke tests of the ``campaign run|status|report`` CLI subcommands."""
+"""Smoke tests of the ``campaign run|status|report|submit|watch`` and
+``serve`` CLI subcommands."""
 
 from __future__ import annotations
 
+import contextlib
 import json
+import threading
 
 import pytest
 
@@ -177,7 +180,7 @@ class TestCampaignStatusAndReport:
         status = json.loads(capsys.readouterr().out)
         assert status == {"campaign": "cli-tiny", "store": store,
                           "total_runs": 2, "completed": 0, "failed": 0,
-                          "pending": 2, "done": False}
+                          "pending": 2, "cached": 0, "done": False}
         assert cli_main(["campaign", "run", "--spec", spec_path,
                          "--store", store]) == 0
         capsys.readouterr()
@@ -231,3 +234,96 @@ class TestCampaignStatusAndReport:
         assert cli_main(["campaign", "report", "--spec", spec_path,
                          "--store", store]) == 2
         assert "no recorded runs" in capsys.readouterr().err
+
+
+@contextlib.contextmanager
+def live_service(tmp_path):
+    """An in-thread campaign service (real worker) for submit/watch tests."""
+    from repro.service.server import create_server
+
+    server = create_server(store_dir=str(tmp_path / "svc"), keepalive_s=0.5)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    try:
+        yield server.url
+    finally:
+        server.shutdown_service(timeout=10)
+        thread.join(timeout=5)
+
+
+class TestServiceCLI:
+    def test_submit_then_watch(self, capsys, tmp_path, tiny_campaign):
+        spec_path, _ = tiny_campaign
+        with live_service(tmp_path) as url:
+            assert cli_main(["campaign", "submit", "--spec", spec_path,
+                             "--url", url, "--json"]) == 0
+            document = json.loads(capsys.readouterr().out)
+            assert document["created"] is True and document["started"] is True
+            assert document["total_runs"] == 2
+            assert cli_main(["campaign", "watch", document["campaign_id"],
+                             "--url", url, "--json"]) == 0
+            lines = [json.loads(line) for line in
+                     capsys.readouterr().out.splitlines()]
+            assert lines[-1]["event"] == "done"
+            assert lines[-1]["data"]["state"] == "completed"
+            run_events = [line for line in lines
+                          if line["event"] in ("run", "snapshot")]
+            assert len(run_events) == 2
+
+    def test_watch_text_output_and_resubmit(self, capsys, tmp_path,
+                                            tiny_campaign):
+        spec_path, _ = tiny_campaign
+        with live_service(tmp_path) as url:
+            assert cli_main(["campaign", "submit", "--spec", spec_path,
+                             "--url", url]) == 0
+            out = capsys.readouterr().out
+            assert "submitted as" in out and "campaign watch" in out
+            campaign_id = [word for word in out.split()
+                           if word.startswith("cli-tiny-")][0]
+            assert cli_main(["campaign", "watch", campaign_id,
+                             "--url", url]) == 0
+            out = capsys.readouterr().out
+            assert "done: " in out and "state: completed" in out
+            # a second submit attaches to the finished campaign
+            assert cli_main(["campaign", "submit", "--spec", spec_path,
+                             "--url", url, "--json"]) == 0
+            document = json.loads(capsys.readouterr().out)
+            assert document["created"] is False
+            assert document["started"] is False
+
+    def test_watch_unknown_campaign_fails_cleanly(self, capsys, tmp_path):
+        with live_service(tmp_path) as url:
+            assert cli_main(["campaign", "watch", "nope", "--url", url]) == 2
+            assert "HTTP 404" in capsys.readouterr().err
+
+    def test_submit_unreachable_service_fails_cleanly(self, capsys,
+                                                      tiny_campaign):
+        spec_path, _ = tiny_campaign
+        assert cli_main(["campaign", "submit", "--spec", spec_path,
+                         "--url", "http://127.0.0.1:9"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_subprocess_banner_and_health(self, tmp_path):
+        """``serve --port 0`` binds a free port, prints the banner and
+        answers ``/v1/health`` until interrupted."""
+        import signal
+        import subprocess
+        import sys as _sys
+
+        from repro.service.client import ServiceClient
+
+        process = subprocess.Popen(
+            [_sys.executable, "-u", "-m", "repro.cli", "serve", "--port", "0",
+             "--store-dir", str(tmp_path / "svc")],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        try:
+            banner = process.stdout.readline()
+            assert "campaign service listening on http://" in banner
+            url = [word for word in banner.split()
+                   if word.startswith("http://")][0]
+            health = ServiceClient(url).wait_ready(timeout=10)
+            assert health["status"] == "ok"
+        finally:
+            process.send_signal(signal.SIGINT)
+            assert process.wait(timeout=15) == 0

@@ -3,9 +3,10 @@
 Two checks back the ``docs/`` tree:
 
 * **docstring coverage** — every public class/function of the
-  ``repro.campaign`` package (and the public methods/properties they
-  define) carries a docstring.  The campaign package is the public
-  scaling API; an undocumented symbol there is a regression.
+  ``repro.campaign`` and ``repro.service`` packages (and the public
+  methods/properties they define) carries a docstring.  These packages
+  are the public scaling + control-plane API; an undocumented symbol
+  there is a regression.
 * **intra-repo links** — every relative markdown link in ``README.md``
   and ``docs/*.md`` resolves to an existing file, so the docs tree cannot
   silently rot as files move.
@@ -21,7 +22,8 @@ from pathlib import Path
 
 import pytest
 
-import repro.campaign
+#: The packages whose public API must be fully docstring-covered.
+DOCUMENTED_PACKAGES = ("repro.campaign", "repro.service")
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -30,25 +32,26 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 _MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 
-def _campaign_modules():
-    """Every module of the ``repro.campaign`` package, the package included."""
-    modules = [repro.campaign]
-    for info in pkgutil.iter_modules(repro.campaign.__path__):
-        modules.append(importlib.import_module(f"repro.campaign.{info.name}"))
+def _modules_of(package_name):
+    """Every module of a package, the package itself included."""
+    package = importlib.import_module(package_name)
+    modules = [package]
+    for info in pkgutil.iter_modules(package.__path__):
+        modules.append(importlib.import_module(f"{package_name}.{info.name}"))
     return modules
 
 
-def _public_symbols():
-    """(qualified name, object) for every public campaign class/function."""
+def _public_symbols(package_name):
+    """(qualified name, object) for every public class/function."""
     seen = {}
-    for module in _campaign_modules():
+    for module in _modules_of(package_name):
         for name, obj in vars(module).items():
             if name.startswith("_"):
                 continue
             if not (inspect.isclass(obj) or inspect.isfunction(obj)):
                 continue
-            if not getattr(obj, "__module__", "").startswith("repro.campaign"):
-                continue   # re-exported stdlib/third-party helpers
+            if not getattr(obj, "__module__", "").startswith(package_name):
+                continue   # re-exported stdlib/other-package helpers
             seen[f"{obj.__module__}.{obj.__qualname__}"] = obj
     return sorted(seen.items())
 
@@ -68,17 +71,23 @@ def _public_members(cls):
 
 
 class TestDocstringCoverage:
-    def test_campaign_package_has_symbols(self):
+    def test_documented_packages_have_symbols(self):
         """Guard the guard: an import/path mistake must not pass vacuously."""
-        names = [name for name, _ in _public_symbols()]
-        assert len(names) >= 20
-        assert "repro.campaign.spec.CampaignSpec" in names
-        assert "repro.campaign.sharding.ShardedExecutor" in names
-        assert "repro.campaign.cache.ResultCache" in names
+        campaign = [name for name, _ in _public_symbols("repro.campaign")]
+        assert len(campaign) >= 20
+        assert "repro.campaign.spec.CampaignSpec" in campaign
+        assert "repro.campaign.sharding.ShardedExecutor" in campaign
+        assert "repro.campaign.cache.ResultCache" in campaign
+        service = [name for name, _ in _public_symbols("repro.service")]
+        assert len(service) >= 10
+        assert "repro.service.bus.RunEventBus" in service
+        assert "repro.service.jobs.CampaignJobManager" in service
+        assert "repro.service.client.ServiceClient" in service
 
-    def test_every_public_campaign_symbol_has_a_docstring(self):
+    @pytest.mark.parametrize("package", DOCUMENTED_PACKAGES)
+    def test_every_public_symbol_has_a_docstring(self, package):
         missing = []
-        for name, obj in _public_symbols():
+        for name, obj in _public_symbols(package):
             if not (obj.__doc__ or "").strip():
                 missing.append(name)
             if inspect.isclass(obj):
@@ -86,13 +95,14 @@ class TestDocstringCoverage:
                     if not (doc or "").strip():
                         missing.append(member_name)
         assert not missing, (
-            "public repro.campaign symbols without docstrings:\n  "
+            f"public {package} symbols without docstrings:\n  "
             + "\n  ".join(sorted(set(missing))))
 
-    def test_every_campaign_module_has_a_docstring(self):
-        missing = [module.__name__ for module in _campaign_modules()
+    @pytest.mark.parametrize("package", DOCUMENTED_PACKAGES)
+    def test_every_module_has_a_docstring(self, package):
+        missing = [module.__name__ for module in _modules_of(package)
                    if not (module.__doc__ or "").strip()]
-        assert not missing, f"undocumented campaign modules: {missing}"
+        assert not missing, f"undocumented {package} modules: {missing}"
 
 
 def _markdown_files():
@@ -120,5 +130,6 @@ def test_intra_repo_markdown_links_resolve(md_file):
 
 def test_docs_tree_is_present():
     """The documented entry points of the docs tree must exist."""
-    for page in ("architecture.md", "campaigns.md", "extending-executors.md"):
+    for page in ("architecture.md", "campaigns.md", "extending-executors.md",
+                 "service.md"):
         assert (REPO_ROOT / "docs" / page).exists(), f"docs/{page} is missing"
