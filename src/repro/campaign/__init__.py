@@ -18,6 +18,12 @@ as one hand-launched session.  This subsystem turns one declarative
 * :mod:`repro.campaign.cache`     — the content-addressed per-run result
   cache: completed runs are reusable across campaigns, not just within
   one store,
+* :mod:`repro.campaign.workers`   — the persistent worker-pool executor:
+  long-lived warm worker processes shared across calls/chunks/campaigns,
+  batched pipe dispatch, heartbeats, straggler re-dispatch and
+  crash-requeue,
+* :mod:`repro.campaign.hotpath`   — the campaign-throughput benchmark
+  harness persisting ``BENCH_campaign_throughput.json`` records,
 * :mod:`repro.campaign.aggregate` — the campaign-level report (per-parameter
   stats, best-run selection, throughput, cache provenance),
 * :mod:`repro.campaign.presets`   — named campaigns (``campaign-smoke``,
@@ -37,9 +43,12 @@ from repro.campaign.scheduler import (CampaignExecutor, CampaignOutcome,
                                       ProcessPoolCampaignExecutor,
                                       SerialExecutor,
                                       ThreadPoolCampaignExecutor,
-                                      available_executors, execute_run,
+                                      available_executors,
+                                      default_pool_workers, execute_run,
                                       get_executor, register_executor,
                                       run_campaign)
+from repro.campaign.workers import (WorkerPool, WorkerPoolExecutor,
+                                    shared_pool, shutdown_shared_pools)
 from repro.campaign.sharding import (ExplicitRouter, HashRouter,
                                      RoundRobinRouter, ShardedExecutor,
                                      WorkloadRouter, available_routers,
@@ -70,6 +79,11 @@ __all__ = [
     "register_router",
     "stable_shard_hash",
     "ResultCache",
+    "WorkerPool",
+    "WorkerPoolExecutor",
+    "shared_pool",
+    "shutdown_shared_pools",
+    "default_pool_workers",
     "available_executors",
     "get_executor",
     "register_executor",

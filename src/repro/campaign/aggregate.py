@@ -43,10 +43,15 @@ def status_document(campaign: str, total_runs: int,
 
     Returns:
         A flat JSON-able dict: counts (``total_runs`` / ``completed`` /
-        ``failed`` / ``pending``), cache provenance (``cached``) and the
-        terminal flag ``done``.
+        ``failed`` / ``pending``), cache provenance (``cached``), executor
+        throughput (``runs_per_sec`` — executed completed runs divided by
+        their summed wall time, ``None`` until something was actually
+        executed rather than cache-served) and the terminal flag ``done``.
     """
     completed = sum(1 for record in records if record.completed)
+    executed = [record for record in records
+                if record.completed and not record.cached]
+    executed_elapsed = sum(record.elapsed_s for record in executed)
     document: Dict[str, object] = {
         "campaign": campaign,
         "total_runs": int(total_runs),
@@ -55,6 +60,8 @@ def status_document(campaign: str, total_runs: int,
         "pending": int(total_runs) - completed,
         "cached": sum(1 for record in records
                       if record.completed and record.cached),
+        "runs_per_sec": (len(executed) / executed_elapsed
+                         if executed and executed_elapsed > 0 else None),
         "done": completed == int(total_runs),
     }
     if store is not None:
@@ -139,10 +146,14 @@ class CampaignReport:
         for key in ("training_iterations", "samples_streamed", "streamed_megabytes"):
             if key in self.totals:
                 lines.append(f"  total {key:<22}: {self.totals[key]}")
-        if self.timing:
+        if "total_wall_s" in self.timing:
             lines.append(f"  wall time        : total {self.timing['total_wall_s']:.2f} s"
                          f"  mean/run {self.timing['mean_wall_s']:.2f} s"
                          f"  {self.timing['samples_per_s']:.1f} samples/s")
+        if "runs_per_sec" in self.timing:
+            lines.append(f"  throughput       : "
+                         f"{self.timing['runs_per_sec']:.2f} runs/s "
+                         f"over executed runs")
         for param, groups in sorted(self.per_parameter.items()):
             lines.append(f"  sweep {param}:")
             for value, stats in sorted(groups.items()):
@@ -217,6 +228,12 @@ def aggregate(records: Sequence[RunRecord],
                   "mean_wall_s": total_wall / len(walls),
                   "samples_per_s": (totals.get("samples_streamed", 0.0) / total_wall
                                     if total_wall > 0 else 0.0)}
+    # executor throughput: executed (non-cache-served) completed runs over
+    # their summed wall time — the figure the worker-pool backend optimises
+    executed = [record for record in completed if not record.cached]
+    executed_elapsed = sum(record.elapsed_s for record in executed)
+    if executed and executed_elapsed > 0:
+        timing["runs_per_sec"] = len(executed) / executed_elapsed
 
     return CampaignReport(
         campaign=campaign, n_runs=len(records), n_completed=len(completed),

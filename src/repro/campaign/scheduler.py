@@ -36,6 +36,7 @@ skips cached runs without knowing the cache exists.
 from __future__ import annotations
 
 import logging
+import os
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
@@ -121,6 +122,31 @@ def _attempt_run(payload: Dict[str, object], worker: RunWorker,
                      error=error, summary=summary)
 
 
+#: Upper bound of the machine-derived default pool size: campaign runs are
+#: memory-hungry (each worker holds a full coupled simulation), so "one
+#: worker per hardware thread" stops paying off well before big core counts.
+DEFAULT_MAX_POOL_WORKERS = 8
+
+
+def default_pool_workers(maximum: int = DEFAULT_MAX_POOL_WORKERS) -> int:
+    """The machine-derived default worker count of the pool executors.
+
+    ``os.cpu_count()`` clamped to ``[2, maximum]``: at least two workers so
+    concurrency semantics are always exercised (and a single-core box still
+    overlaps the GIL-released numpy sections), at most ``maximum`` so a
+    large host does not fork dozens of simulation processes by default.
+    Callers wanting the machine's full width pass ``max_workers``
+    explicitly.
+
+    Args:
+        maximum: upper clamp (default :data:`DEFAULT_MAX_POOL_WORKERS`).
+
+    Returns:
+        The default number of pool workers for this machine.
+    """
+    return max(2, min(os.cpu_count() or 1, maximum))
+
+
 class CampaignExecutor:
     """Strategy interface: execute resolved run payloads into records."""
 
@@ -175,14 +201,14 @@ class SerialExecutor(CampaignExecutor):
 class _PoolExecutorBase(CampaignExecutor):
     """Shared bounded-pool scaffolding of the concurrent executors."""
 
-    default_workers = 4
     pool_cls: type = None  # type: ignore[assignment]
 
     def execute(self, payloads, worker, on_record=None):
         payloads = list(payloads)
         if not payloads:
             return []
-        n_workers = min(self.max_workers or self.default_workers, len(payloads))
+        n_workers = min(self.max_workers or default_pool_workers(),
+                        len(payloads))
         by_future = {}
         futures = []
         with self.pool_cls(max_workers=n_workers) as pool:

@@ -22,7 +22,10 @@ script) exposes the main entry points of the reproduction:
 * ``placement``        — compare intra- vs inter-node placement (Fig. 3c),
 * ``bench-hotpath``    — benchmark the fused vs reference PIC hot path and
   append the result to ``BENCH_pic_hotpath.json`` (see
-  ``docs/performance.md``).
+  ``docs/performance.md``),
+* ``bench-campaign``   — benchmark the campaign executors
+  (serial/process/workers) on a chunked service-style launch and append
+  the result to ``BENCH_campaign_throughput.json``.
 
 ``run`` is built on :mod:`repro.workflow`: it assembles a
 ``WorkflowSession`` from a preset (or a JSON config file) and drives it
@@ -113,8 +116,10 @@ def _build_parser() -> argparse.ArgumentParser:
     add_campaign_selectors(campaign_run)
     campaign_run.add_argument("--executor", type=str, default=None,
                               help="campaign executor: serial (default), "
-                                   "thread, process or sharded (implied by "
-                                   "--shards/--route or a spec with routing)")
+                                   "thread, process, workers (persistent "
+                                   "warm worker pool) or sharded (implied "
+                                   "by --shards/--route or a spec with "
+                                   "routing)")
     campaign_run.add_argument("--shards", type=int, default=None,
                               help="shard count of the sharded executor "
                                    "(implies --executor sharded)")
@@ -226,6 +231,34 @@ def _build_parser() -> argparse.ArgumentParser:
     hotpath.add_argument("--no-persist", action="store_true",
                          help="measure and print only; do not touch the "
                               "BENCH_*.json history")
+
+    bench_campaign = sub.add_parser(
+        "bench-campaign",
+        help="benchmark the campaign executors (serial/process/workers) "
+             "on a chunked service-style launch "
+             "(appends to BENCH_campaign_throughput.json)")
+    bench_campaign.add_argument("--preset", type=str, default=None,
+                                help="campaign preset to drive "
+                                     "(default campaign-smoke)")
+    bench_campaign.add_argument("--repeats", type=int, default=3,
+                                help="interleaved measurement blocks per "
+                                     "executor; the best block is recorded "
+                                     "(default 3)")
+    bench_campaign.add_argument("--repetitions", type=int, default=None,
+                                help="override the preset's ensemble "
+                                     "repetitions (scales the run count)")
+    bench_campaign.add_argument("--max-workers", type=int, default=None,
+                                help="pool width (default: machine-derived)")
+    bench_campaign.add_argument("--start-method", type=str, default=None,
+                                choices=("spawn", "fork", "forkserver"),
+                                help="worker start method (default spawn)")
+    bench_campaign.add_argument("--output-dir", type=str, default=".",
+                                help="directory of "
+                                     "BENCH_campaign_throughput.json "
+                                     "(default .)")
+    bench_campaign.add_argument("--no-persist", action="store_true",
+                                help="measure and print only; do not touch "
+                                     "the BENCH_*.json history")
     return parser
 
 
@@ -525,10 +558,12 @@ def _print_event(event, as_json: bool) -> None:
         print(f"  ! {data.get('dropped')} event(s) dropped (slow consumer); "
               f"re-check campaign status for the full picture", flush=True)
     else:
-        print(f"{event.event}: " + ", ".join(
-            f"{key}: {data[key]}" for key in
-            ("campaign", "state", "total_runs", "completed", "failed",
-             "cached") if key in data), flush=True)
+        parts = [f"{key}: {data[key]}" for key in
+                 ("campaign", "state", "total_runs", "completed", "failed",
+                  "cached") if key in data]
+        if isinstance(data.get("runs_per_sec"), float):
+            parts.append(f"runs_per_sec: {data['runs_per_sec']:.2f}")
+        print(f"{event.event}: " + ", ".join(parts), flush=True)
 
 
 def _cmd_campaign_submit(args: argparse.Namespace) -> int:
@@ -717,6 +752,23 @@ def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
     return hotpath_main(argv)
 
 
+def _cmd_bench_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign.hotpath import DEFAULT_PRESET, main as campaign_main
+
+    argv = ["--preset", args.preset or DEFAULT_PRESET,
+            "--repeats", str(args.repeats),
+            "--output-dir", args.output_dir]
+    if args.repetitions is not None:
+        argv += ["--repetitions", str(args.repetitions)]
+    if args.max_workers is not None:
+        argv += ["--max-workers", str(args.max_workers)]
+    if args.start_method is not None:
+        argv += ["--start-method", args.start_method]
+    if args.no_persist:
+        argv.append("--no-persist")
+    return campaign_main(argv)
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "campaign": _cmd_campaign,
@@ -728,6 +780,7 @@ _COMMANDS = {
     "khi-info": _cmd_khi_info,
     "placement": _cmd_placement,
     "bench-hotpath": _cmd_bench_hotpath,
+    "bench-campaign": _cmd_bench_campaign,
 }
 
 

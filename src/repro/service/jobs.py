@@ -31,8 +31,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.campaign.aggregate import aggregate, status_document
 from repro.campaign.cache import ResultCache
-from repro.campaign.scheduler import (CampaignExecutor, execute_run,
-                                      get_executor, run_campaign)
+from repro.campaign.scheduler import (CampaignExecutor, default_pool_workers,
+                                      execute_run, get_executor, run_campaign)
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import CampaignStore
 from repro.service.bus import RunEventBus
@@ -189,9 +189,14 @@ class CampaignJob:
 
     # -- the runner thread -------------------------------------------------- #
     def _chunk_size(self, executor: CampaignExecutor) -> int:
+        # Chunks stay small for cooperative cancel.  That makes per-chunk
+        # executor start-up cost multiply — which is exactly what the
+        # ``workers`` executor eliminates: it leases the process-wide warm
+        # pool (repro.campaign.workers.shared_pool), so every chunk of
+        # every job reuses the same live worker processes.
         if executor.name == "serial":
             return 1
-        return int(executor.max_workers or 4)
+        return int(executor.max_workers or default_pool_workers())
 
     def _run(self) -> None:
         try:

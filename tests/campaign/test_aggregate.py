@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from repro.campaign import RunRecord, aggregate
+from repro.campaign import RunRecord, aggregate, status_document
 from repro.campaign.store import STATUS_COMPLETED, STATUS_FAILED
 
 
-def record(run_id, loss, lr, seed=1, status=STATUS_COMPLETED, wall=0.5):
+def record(run_id, loss, lr, seed=1, status=STATUS_COMPLETED, wall=0.5,
+           elapsed=0.0, cached=False):
     summary = {} if status == STATUS_FAILED else {
         "final_total_loss": loss, "training_iterations": 4,
         "samples_streamed": 16, "iterations_streamed": 2,
@@ -15,7 +16,7 @@ def record(run_id, loss, lr, seed=1, status=STATUS_COMPLETED, wall=0.5):
                      params={"ml.base_learning_rate": lr, "khi.seed": seed},
                      driver="serial", n_steps=2, status=status,
                      error="boom" if status == STATUS_FAILED else None,
-                     summary=summary)
+                     summary=summary, elapsed_s=elapsed, cached=cached)
 
 
 class TestAggregate:
@@ -77,6 +78,28 @@ class TestAggregate:
         assert report.timing["mean_wall_s"] == 2.0
         assert report.timing["samples_per_s"] == 8.0
 
+    def test_timing_runs_per_sec_over_executed_runs(self):
+        report = aggregate([record("a", 1.0, 1e-3, elapsed=1.0),
+                            record("b", 2.0, 1e-3, elapsed=3.0)])
+        assert report.timing["runs_per_sec"] == 0.5
+        assert "throughput" in report.format_text()
+
+    def test_runs_per_sec_excludes_cached_and_failed_runs(self):
+        """Cache hits cost no executor time and failed runs complete
+        nothing — neither may inflate the throughput figure."""
+        report = aggregate([record("a", 1.0, 1e-3, elapsed=2.0),
+                            record("b", 2.0, 1e-3, elapsed=99.0, cached=True),
+                            record("c", None, 1e-3, status=STATUS_FAILED,
+                                   elapsed=50.0)])
+        assert report.timing["runs_per_sec"] == 0.5
+
+    def test_runs_per_sec_absent_when_nothing_executed(self):
+        cached_only = aggregate([record("a", 1.0, 1e-3, elapsed=5.0,
+                                        cached=True)])
+        assert "runs_per_sec" not in cached_only.timing
+        zero_elapsed = aggregate([record("a", 1.0, 1e-3)])
+        assert "runs_per_sec" not in zero_elapsed.timing
+
     def test_deterministic_dict_excludes_timing(self):
         fast = aggregate([record("a", 3.0, 1e-3, wall=0.1)])
         slow = aggregate([record("a", 3.0, 1e-3, wall=9.0)])
@@ -110,3 +133,17 @@ class TestAggregate:
         assert "'fmt'" in text
         assert "best run" in text
         assert "ml.base_learning_rate" in text
+
+
+class TestStatusDocument:
+    def test_runs_per_sec_counts_executed_runs_only(self):
+        records = [record("a", 1.0, 1e-3, elapsed=2.0),
+                   record("b", 1.0, 1e-3, elapsed=7.5, cached=True)]
+        document = status_document("study", 4, records)
+        assert document["runs_per_sec"] == 0.5
+        assert document["cached"] == 1
+
+    def test_runs_per_sec_is_none_until_something_executed(self):
+        assert status_document("study", 4, [])["runs_per_sec"] is None
+        cached = [record("a", 1.0, 1e-3, elapsed=5.0, cached=True)]
+        assert status_document("study", 4, cached)["runs_per_sec"] is None

@@ -28,6 +28,14 @@ def smoke_spec(**kwargs) -> CampaignSpec:
     return CampaignSpec.from_dict(base)
 
 
+def process_killing_worker(payload):
+    """Kills its host process outright — no exception for the pool to relay,
+    so every pending future of the pool raises BrokenProcessPool."""
+    import os as os_module
+
+    os_module._exit(13)
+
+
 class TestStore:
     def test_append_and_read_back(self, tmp_path):
         store = CampaignStore(str(tmp_path / "log.jsonl"))
@@ -111,9 +119,36 @@ class TestStore:
 class TestExecutors:
     def test_registry_names(self):
         assert available_executors() == ("process", "serial", "sharded",
-                                         "thread")
+                                         "thread", "workers")
         with pytest.raises(ValueError, match="valid executors"):
             get_executor("quantum")
+
+    def test_default_pool_workers_is_machine_derived_and_bounded(self):
+        import os as os_module
+
+        from repro.campaign import default_pool_workers
+        from repro.campaign.scheduler import DEFAULT_MAX_POOL_WORKERS
+
+        value = default_pool_workers()
+        assert 2 <= value <= DEFAULT_MAX_POOL_WORKERS
+        assert value <= max(2, os_module.cpu_count() or 1)
+        assert default_pool_workers(maximum=3) <= 3
+
+    def test_broken_pool_becomes_failed_records_not_an_exception(self):
+        """The pool-infrastructure death path of ``_PoolExecutorBase._drain``:
+        a worker process dying (BrokenProcessPool on every pending future)
+        must surface as failed records in submission order — executors
+        never raise for a run's failure, only for abort signals."""
+        payloads = [run.payload() for run in smoke_spec().resolve()][:4]
+        seen = []
+        records = get_executor("process", max_workers=1).execute(
+            payloads, process_killing_worker, on_record=seen.append)
+        assert [r.run_id for r in records] == [p["run_id"] for p in payloads]
+        assert all(r.status == STATUS_FAILED for r in records)
+        assert any("BrokenProcessPool" in r.error for r in records)
+        # the observer still saw every failed record exactly once
+        assert sorted(r.run_id for r in seen) == \
+            sorted(p["run_id"] for p in payloads)
 
     @pytest.mark.parametrize("name", ("serial", "thread"))
     def test_executor_runs_every_payload(self, name):

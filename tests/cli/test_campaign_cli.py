@@ -180,7 +180,8 @@ class TestCampaignStatusAndReport:
         status = json.loads(capsys.readouterr().out)
         assert status == {"campaign": "cli-tiny", "store": store,
                           "total_runs": 2, "completed": 0, "failed": 0,
-                          "pending": 2, "cached": 0, "done": False}
+                          "pending": 2, "cached": 0, "runs_per_sec": None,
+                          "done": False}
         assert cli_main(["campaign", "run", "--spec", spec_path,
                          "--store", store]) == 0
         capsys.readouterr()
