@@ -23,7 +23,9 @@ from repro.campaign.store import RunRecord
 
 def status_document(campaign: str, total_runs: int,
                     records: Sequence[RunRecord], store: Optional[str] = None,
-                    include_records: bool = False) -> Dict[str, object]:
+                    include_records: bool = False,
+                    telemetry: Optional[Dict[str, object]] = None
+                    ) -> Dict[str, object]:
     """The machine-readable campaign status document.
 
     One serializer, two transports: ``campaign status --json`` on the CLI
@@ -40,6 +42,10 @@ def status_document(campaign: str, total_runs: int,
         include_records: append a ``records`` list with one
             :meth:`repro.campaign.store.RunRecord.to_dict` row per recorded
             run — the service's per-run detail; the CLI summary omits it.
+        telemetry: optional JSON-able telemetry summary (executor counter
+            deltas, event-bus drops, cache stats) appended verbatim under
+            a ``telemetry`` key — the service fills it from its job
+            bookkeeping, the CLI from the launch's persisted trace.
 
     Returns:
         A flat JSON-able dict: counts (``total_runs`` / ``completed`` /
@@ -66,6 +72,8 @@ def status_document(campaign: str, total_runs: int,
     }
     if store is not None:
         document["store"] = str(store)
+    if telemetry is not None:
+        document["telemetry"] = telemetry
     if include_records:
         document["records"] = [record.to_dict() for record in records]
     return document

@@ -33,7 +33,14 @@ from dataclasses import replace
 from typing import Dict, Optional
 
 from repro.campaign.store import RunRecord
+from repro.telemetry import REGISTRY
 from repro.utils.serialization import jsonable
+
+_CACHE_HITS = REGISTRY.counter(
+    "repro_cache_hits_total", "Result-cache lookups served from the cache")
+_CACHE_MISSES = REGISTRY.counter(
+    "repro_cache_misses_total",
+    "Result-cache lookups that missed (absent or corrupt entry)")
 
 
 class ResultCache:
@@ -72,6 +79,7 @@ class ResultCache:
         path = self.entry_path(run_id)
         if not os.path.exists(path):
             self.misses += 1
+            _CACHE_MISSES.inc()
             return None
         try:
             with open(path, encoding="utf-8") as handle:
@@ -85,8 +93,10 @@ class ResultCache:
                 f"{run_id} ({error}); recomputing", RuntimeWarning,
                 stacklevel=2)
             self.misses += 1
+            _CACHE_MISSES.inc()
             return None
         self.hits += 1
+        _CACHE_HITS.inc()
         return replace(record, cached=True)
 
     def put(self, record: RunRecord) -> bool:

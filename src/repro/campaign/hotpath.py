@@ -33,6 +33,7 @@ from repro.campaign.scheduler import (default_pool_workers, execute_run,
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import RunRecord
 from repro.campaign.workers import WorkerPool, WorkerPoolExecutor
+from repro.telemetry import disabled as telemetry_disabled
 
 #: The executors the benchmark compares, in measurement order.
 BENCH_EXECUTORS = ("serial", "process", "workers")
@@ -195,19 +196,23 @@ def run_campaign_benchmark(preset: str = DEFAULT_PRESET,
                  "workers": WorkerPoolExecutor(max_workers=workers_n,
                                                pool=pool)}
     try:
-        pool.wait_ready()
-        # one untimed warmup chunk per executor (page caches, imports)
-        for name in BENCH_EXECUTORS:
-            executors[name].execute(payloads[:chunks[name]], execute_run)
-        for _ in range(repeats):
+        # telemetry off for the whole measured region: the persisted perf
+        # trajectory is the guard that instrumentation costs nothing when
+        # disabled, so the timed sections must never include it
+        with telemetry_disabled():
+            pool.wait_ready()
+            # one untimed warmup chunk per executor (page caches, imports)
             for name in BENCH_EXECUTORS:
-                rate, records = _time_chunked(executors[name], payloads,
-                                              chunks[name])
-                if rate > rates.get(name, 0.0):
-                    rates[name] = rate
-                last_records[name] = records
-        pool_stats = {key: value for key, value in pool.stats().items()
-                      if key != "pids"}
+                executors[name].execute(payloads[:chunks[name]], execute_run)
+            for _ in range(repeats):
+                for name in BENCH_EXECUTORS:
+                    rate, records = _time_chunked(executors[name], payloads,
+                                                  chunks[name])
+                    if rate > rates.get(name, 0.0):
+                        rates[name] = rate
+                    last_records[name] = records
+            pool_stats = {key: value for key, value in pool.stats().items()
+                          if key != "pids"}
     finally:
         pool.shutdown()
 

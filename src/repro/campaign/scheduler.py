@@ -39,16 +39,30 @@ import logging
 import os
 import threading
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
     ThreadPoolExecutor, wait
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Type
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Type
 
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import (CampaignStore, RunRecord, STATUS_COMPLETED,
                                   STATUS_FAILED)
+from repro.telemetry import (REGISTRY, Span, SpanRecorder, is_enabled,
+                             new_id, recording, span, trace_path_for,
+                             TraceWriter)
 
 logger = logging.getLogger(__name__)
+
+_RUNS_TOTAL = REGISTRY.counter(
+    "repro_campaign_runs_total",
+    "Run records produced, by campaign, status and cache origin")
+_RUN_SECONDS = REGISTRY.histogram(
+    "repro_campaign_run_seconds",
+    "Per-run wall time (worker-executed runs), by campaign")
+_RUNS_PER_SEC = REGISTRY.gauge(
+    "repro_campaign_runs_per_sec",
+    "Executed-run throughput of the current or latest launch, by campaign")
 
 #: Executes one resolved run payload and returns a JSON-able summary dict.
 RunWorker = Callable[[Dict[str, object]], Dict[str, object]]
@@ -76,6 +90,36 @@ def execute_run(payload: Dict[str, object]) -> Dict[str, object]:
 def _attempt_run(payload: Dict[str, object], worker: RunWorker,
                  retries: int, timeout: Optional[float]) -> RunRecord:
     """Run one payload with retry + cooperative timeout, capturing failures.
+
+    The universal per-run wrapper: serial and thread executors call it in
+    process, the process pool and warm worker pool call it inside their
+    children.  That makes it the single place where the *execute* span of
+    a trace opens — when the payload carries a ``trace`` propagation
+    context (attached by :func:`run_campaign`), the attempt runs inside an
+    ``execute`` span joined to the dispatching parent, and the finished
+    spans travel back on the record as a ``_spans`` instance attribute
+    (surviving pickling, invisible to ``asdict``/the store).
+    """
+    trace_ctx = payload.get("trace")
+    if trace_ctx is None or not is_enabled():
+        return _attempt_run_impl(payload, worker, retries, timeout)
+    recorder = SpanRecorder()
+    with recording(recorder):
+        with span("execute", ctx=trace_ctx,
+                  attrs={"run_id": payload["run_id"],
+                         "pid": os.getpid()}) as execute_span:
+            record = _attempt_run_impl(payload, worker, retries, timeout)
+            if execute_span is not None:
+                execute_span.attrs["attempts"] = record.attempts
+                if record.status != STATUS_COMPLETED:
+                    execute_span.status = "error"
+    record._spans = [finished.to_dict() for finished in recorder.spans]
+    return record
+
+
+def _attempt_run_impl(payload: Dict[str, object], worker: RunWorker,
+                      retries: int, timeout: Optional[float]) -> RunRecord:
+    """The untraced body of :func:`_attempt_run`.
 
     ``timeout`` budgets the *whole run* including retries: a failing attempt
     is only retried while wall time is left.  A successful attempt is always
@@ -356,6 +400,98 @@ class CampaignOutcome:
                 "done": self.done}
 
 
+class _LaunchTrace:
+    """Parent-side span bookkeeping of one :func:`run_campaign` launch.
+
+    Owns the launch's root ``campaign`` span and the
+    :class:`repro.telemetry.export.TraceWriter` appending next to the
+    store.  Each pending payload gets a ``dispatch`` child whose context
+    rides the payload into the executor; when the record settles back,
+    :meth:`finish_run` emits the ``settle`` span, replays the worker-side
+    ``execute`` (+ phase) spans, and closes the dispatch — yielding one
+    resolve → dispatch → execute → settle tree per run, correlated by the
+    launch's trace id.
+    """
+
+    def __init__(self, spec: CampaignSpec, store: CampaignStore,
+                 executor: CampaignExecutor) -> None:
+        self.writer = TraceWriter(trace_path_for(store.path))
+        self.root = Span(name="campaign", trace_id=new_id(),
+                         attrs={"campaign": spec.name,
+                                "executor": getattr(executor, "name",
+                                                    type(executor).__name__),
+                                "pid": os.getpid()})
+        self._lock = threading.Lock()
+        # run_id -> open dispatch spans; a deque because a payload list may
+        # legitimately contain duplicate run ids (each keeps its own span)
+        self._open: Dict[str, Deque[Span]] = {}
+
+    def resolve_done(self, n_runs: int, n_pending: int,
+                     started_s: float) -> None:
+        """Emit the ``resolve`` child covering spec resolution + store scan."""
+        self.writer.emit(Span(name="resolve", trace_id=self.root.trace_id,
+                              parent_id=self.root.span_id, start_s=started_s,
+                              end_s=time.time(),
+                              attrs={"n_runs": n_runs,
+                                     "n_pending": n_pending}))
+
+    def attach(self, payload: Dict[str, object]) -> None:
+        """Open a ``dispatch`` span for a payload and embed its context."""
+        dispatch = Span(name="dispatch", trace_id=self.root.trace_id,
+                        parent_id=self.root.span_id,
+                        attrs={"run_id": payload["run_id"]})
+        with self._lock:
+            self._open.setdefault(str(payload["run_id"]),
+                                  deque()).append(dispatch)
+        payload["trace"] = {"trace_id": dispatch.trace_id,
+                            "span_id": dispatch.span_id}
+
+    def finish_run(self, record: RunRecord,
+                   child_spans: Optional[List[dict]],
+                   settle_start: float) -> None:
+        """Settle one record's tree (called under the launch record lock).
+
+        Cache hits never had a dispatch span; their ``settle`` parents
+        directly at the root.
+        """
+        with self._lock:
+            waiting = self._open.get(record.run_id)
+            dispatch = waiting.popleft() if waiting else None
+        parent = dispatch if dispatch is not None else self.root
+        self.writer.emit(Span(name="settle", trace_id=self.root.trace_id,
+                              parent_id=parent.span_id, start_s=settle_start,
+                              end_s=time.time(),
+                              attrs={"run_id": record.run_id,
+                                     "status": record.status,
+                                     "cached": record.cached}))
+        for row in child_spans or ():
+            self.writer.emit(row)
+        if dispatch is not None:
+            dispatch.attrs["status"] = record.status
+            if record.status != STATUS_COMPLETED:
+                dispatch.status = "error"
+            self.writer.emit(dispatch.finish())
+
+    def finish(self, executor: CampaignExecutor,
+               outcome: "CampaignOutcome") -> None:
+        """Close the root span with the launch totals and executor stats."""
+        stats = getattr(executor, "last_stats", None)
+        if stats:
+            self.root.attrs["executor_stats"] = dict(stats)
+        self.root.attrs.update(
+            {"executed": outcome.executed, "completed": outcome.completed,
+             "failed": outcome.failed, "cache_hits": outcome.cache_hits,
+             "skipped": outcome.skipped})
+        self.writer.emit(self.root.finish())
+        self.writer.close()
+
+    def abort(self) -> None:
+        """Close the root as errored (launch died mid-execution)."""
+        self.root.attrs["aborted"] = True
+        self.writer.emit(self.root.finish(status="error"))
+        self.writer.close()
+
+
 def run_campaign(spec: CampaignSpec, store: CampaignStore,
                  executor: Optional[CampaignExecutor] = None,
                  worker: RunWorker = execute_run,
@@ -403,6 +539,11 @@ def run_campaign(spec: CampaignSpec, store: CampaignStore,
         OSError: if the store (or cache) becomes unwritable mid-launch.
     """
     executor = executor or SerialExecutor()
+    if max_runs is not None and max_runs < 0:
+        raise ValueError("max_runs must be >= 0")
+    trace = _LaunchTrace(spec, store, executor) if is_enabled() else None
+    resolve_started = time.time()
+    launch_started = time.perf_counter()
     runs = spec.resolve() if runs is None else runs
     done_ids = store.completed_run_ids() if completed_ids is None \
         else completed_ids
@@ -410,23 +551,39 @@ def run_campaign(spec: CampaignSpec, store: CampaignStore,
     skipped = len(runs) - len(pending)
     deferred = 0
     if max_runs is not None:
-        if max_runs < 0:
-            raise ValueError("max_runs must be >= 0")
         deferred = max(0, len(pending) - max_runs)
         pending = pending[:max_runs]
+    if trace is not None:
+        trace.resolve_done(len(runs), len(pending), resolve_started)
 
     record_lock = threading.Lock()
     observer = {"callback": on_record}
+    progress = {"executed": 0}
 
     def record_and_store(record: RunRecord) -> None:
+        # worker-side spans ride the record as an undeclared attribute;
+        # strip them before the record reaches the store or any observer
+        child_spans = record.__dict__.pop("_spans", None)
         # one lock around append + cache + dispatch: concurrent executors
         # call this from pool/drain threads, and observers (progress
         # printers, event buses) must see records one at a time, in the
         # order they were persisted
         with record_lock:
+            settle_started = time.time()
             store.append(record)
             if cache is not None:
                 cache.put(record)   # refuses failed + already-cached records
+            if trace is not None:
+                trace.finish_run(record, child_spans, settle_started)
+            _RUNS_TOTAL.inc(1, campaign=spec.name, status=record.status,
+                            cached=str(record.cached).lower())
+            if not record.cached:
+                _RUN_SECONDS.observe(record.elapsed_s, campaign=spec.name)
+                progress["executed"] += 1
+                launch_elapsed = time.perf_counter() - launch_started
+                if launch_elapsed > 0:
+                    _RUNS_PER_SEC.set(progress["executed"] / launch_elapsed,
+                                      campaign=spec.name)
             callback = observer["callback"]
             if callback is None:
                 return
@@ -460,16 +617,28 @@ def run_campaign(spec: CampaignSpec, store: CampaignStore,
             by_position[position] = record
             record_and_store(record)
 
-    executed = executor.execute([run.payload() for _, run in to_execute],
-                                worker, on_record=record_and_store)
+    payloads = [run.payload() for _, run in to_execute]
+    if trace is not None:
+        for payload in payloads:
+            trace.attach(payload)
+    try:
+        executed = executor.execute(payloads, worker,
+                                    on_record=record_and_store)
+    except BaseException:
+        if trace is not None:
+            trace.abort()
+        raise
     for (position, _), record in zip(to_execute, executed):
         by_position[position] = record
     records = [by_position[position] for position in range(len(pending))]
     completed = sum(1 for record in records if record.completed)
-    return CampaignOutcome(campaign=spec.name, total_runs=len(runs),
-                           skipped=skipped, executed=len(to_execute),
-                           completed=completed,
-                           failed=len(records) - completed,
-                           deferred=deferred,
-                           cache_hits=len(pending) - len(to_execute),
-                           records=records)
+    outcome = CampaignOutcome(campaign=spec.name, total_runs=len(runs),
+                              skipped=skipped, executed=len(to_execute),
+                              completed=completed,
+                              failed=len(records) - completed,
+                              deferred=deferred,
+                              cache_hits=len(pending) - len(to_execute),
+                              records=records)
+    if trace is not None:
+        trace.finish(executor, outcome)
+    return outcome

@@ -48,7 +48,6 @@ from __future__ import annotations
 
 import atexit
 import itertools
-import logging
 import multiprocessing
 import os
 import pickle
@@ -62,8 +61,15 @@ from repro.campaign.scheduler import (CampaignExecutor, RecordCallback,
                                       RunWorker, _attempt_run,
                                       default_pool_workers, register_executor)
 from repro.campaign.store import RunRecord, STATUS_FAILED
+from repro.telemetry import REGISTRY
+from repro.utils.logging import get_logger
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
+
+_POOL_EVENTS = REGISTRY.counter(
+    "repro_worker_pool_events_total",
+    "Worker-pool lifecycle events (dispatches, results, requeues, "
+    "stragglers, respawns), by event")
 
 #: Default start method of worker processes.  ``spawn`` gives workers a
 #: clean interpreter (no inherited threads/locks — safe under the threaded
@@ -259,6 +265,11 @@ class WorkerPool:
             "requeued_runs": 0, "straggler_redispatches": 0, "respawns": 0,
         }
 
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Bump a lifetime counter, mirroring it into the metrics registry."""
+        self.counters[name] += amount
+        _POOL_EVENTS.inc(amount, event=name)
+
     # -- lifecycle ---------------------------------------------------------- #
     def _spawn(self, slot: int) -> _Worker:
         parent_conn, child_conn = self._context.Pipe(duplex=True)
@@ -381,14 +392,14 @@ class WorkerPool:
         elif kind == "result":
             _, _, ticket, record = message
             worker.resolve(ticket)
-            self.counters["results"] += 1
+            self._count("results")
             if lease is None or not lease.owns(ticket):
-                self.counters["stale_results_dropped"] += 1
+                self._count("stale_results_dropped")
                 return
             lease.holders[ticket].discard(worker)
             if lease.is_done(ticket):
                 # a straggler duplicate already answered this ticket
-                self.counters["duplicate_results_dropped"] += 1
+                self._count("duplicate_results_dropped")
                 return
             lease.settle(ticket, record)
         else:  # pragma: no cover - future-proofing against protocol drift
@@ -422,7 +433,7 @@ class WorkerPool:
             self._workers[slot] = None
             if not self._closed:
                 self._spawn(slot)
-            self.counters["respawns"] += 1
+            self._count("respawns")
             if lease is not None:
                 lease.drop_holder(worker, orphans)
 
@@ -555,7 +566,7 @@ class _Lease:
                     error=f"WorkerCrashError: worker died executing this "
                           f"run {self.requeues[ticket]} time(s); giving up"))
             else:
-                self.pool.counters["requeued_runs"] += 1
+                self.pool._count("requeued_runs")
                 self.queue.appendleft(ticket)
 
     # -- dispatch ----------------------------------------------------------- #
@@ -588,8 +599,8 @@ class _Lease:
         for ticket in tickets:
             self.holders[ticket].add(worker)
             self.first_dispatch.setdefault(ticket, now)
-        self.pool.counters["dispatched_batches"] += 1
-        self.pool.counters["dispatched_runs"] += len(tickets)
+        self.pool._count("dispatched_batches")
+        self.pool._count("dispatched_runs", len(tickets))
         return True
 
     def _dispatch(self) -> None:
@@ -633,7 +644,7 @@ class _Lease:
                 if self.is_done(ticket) or worker in self.holders[ticket]:
                     continue
                 if self._send(worker, [ticket]):
-                    self.pool.counters["straggler_redispatches"] += 1
+                    self.pool._count("straggler_redispatches")
                 break
 
     def drain(self) -> List[RunRecord]:

@@ -14,6 +14,9 @@ script) exposes the main entry points of the reproduction:
 * ``serve``            — the campaign control plane as an HTTP service
   (submit over ``POST /v1/campaigns``, watch runs land live over SSE;
   see ``docs/service.md``),
+* ``trace``            — render a campaign's span trees (resolve →
+  dispatch → execute → settle with per-phase timings) from the JSONL
+  trace written next to its store (see ``docs/observability.md``),
 * ``presets``          — list the named workflow presets and drivers,
 * ``fom-scan``         — regenerate the Fig. 4 FOM weak-scaling table,
 * ``streaming-study``  — regenerate the Fig. 6 streaming-throughput table,
@@ -63,6 +66,10 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="artificial-scientist",
         description="Reproduction of 'The Artificial Scientist: in-transit "
                     "Machine Learning of Plasma Simulations'")
+    parser.add_argument("--log-level", type=str, default=None,
+                        metavar="LEVEL",
+                        help="logging level of every repro module (debug, "
+                             "info, warning, error; default warning)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run the coupled in-transit workflow")
@@ -197,6 +204,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="directory of the campaign stores + specs — the "
                             "service's only persistent state "
                             "(default campaign-service/)")
+
+    trace = sub.add_parser(
+        "trace", help="render a campaign's span trees from its JSONL trace")
+    trace.add_argument("campaign", type=str, nargs="?", default=None,
+                       help="a campaign id/name, or a path to a trace or "
+                            "store file (default: every trace in "
+                            "--store-dir)")
+    trace.add_argument("--store-dir", type=str, default="campaign-service",
+                       help="service store directory searched for "
+                            "<campaign>.trace.jsonl (default "
+                            "campaign-service/)")
+    trace.add_argument("--store", type=str, default=None,
+                       help="campaign store path; its sibling trace file "
+                            "is rendered")
+    trace.add_argument("--run", type=str, default=None,
+                       help="only traces touching this run id (prefix "
+                            "match)")
+    trace.add_argument("--json", action="store_true",
+                       help="print one JSON line per span instead of the "
+                            "tree")
 
     sub.add_parser("fom-scan", help="Fig. 4: FOM weak scaling (Frontier vs Summit)")
 
@@ -459,6 +486,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         # captured into records and never surface here)
         print(f"error: {error}", file=sys.stderr)
         return 2
+    executor_stats = getattr(executor, "last_stats", None)
     if args.json:
         payload = outcome.summary()
         if cache is not None:
@@ -466,12 +494,18 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         shard_sizes = getattr(executor, "shard_sizes", None)
         if shard_sizes:
             payload["shards"] = shard_sizes
+        if executor_stats:
+            payload["executor_stats"] = executor_stats
         print(json.dumps(_jsonable(payload), indent=2))
     else:
         shard_sizes = getattr(executor, "shard_sizes", None)
         if shard_sizes:
             print("shards: " + ", ".join(f"{name}: {count}" for name, count
                                          in sorted(shard_sizes.items())))
+        if executor_stats:
+            print("worker pool: " + ", ".join(
+                f"{key}: {value}" for key, value
+                in sorted(executor_stats.items())))
         if cache is not None:
             attempted = outcome.cache_hits + outcome.executed
             percent = (100.0 * outcome.cache_hits / attempted
@@ -500,6 +534,29 @@ def _campaign_records(args: argparse.Namespace):
     return spec, store, runs, records
 
 
+def _campaign_telemetry(store_path: str) -> Optional[dict]:
+    """Telemetry summary for ``campaign status``, read from the trace file.
+
+    Returns ``None`` when the store has no trace (telemetry disabled or the
+    campaign never ran locally); otherwise the trace path plus the executor
+    stats recorded on the most recent root "campaign" span.
+    """
+    from repro.telemetry import read_spans, trace_path_for
+
+    trace_path = trace_path_for(store_path)
+    if not os.path.exists(trace_path):
+        return None
+    roots = [span for span in read_spans(trace_path)
+             if span.name == "campaign" and span.parent_id is None]
+    telemetry: dict = {"trace": trace_path, "launches": len(roots)}
+    if roots:
+        latest = max(roots, key=lambda span: span.start_s)
+        stats = latest.attrs.get("executor_stats")
+        if stats:
+            telemetry["executor"] = stats
+    return telemetry
+
+
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
     from repro.campaign import status_document
 
@@ -510,7 +567,8 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         return 2
     # the same serializer the service's GET /v1/campaigns/{id} emits, so
     # local and remote tooling read one status schema
-    status = status_document(spec.name, len(runs), records, store=store.path)
+    status = status_document(spec.name, len(runs), records, store=store.path,
+                             telemetry=_campaign_telemetry(store.path))
     if args.json:
         print(json.dumps(status, indent=2))
     else:
@@ -639,6 +697,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # e.g. the port is taken or the store dir is not writable
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+
+def _trace_candidates(args: argparse.Namespace) -> list:
+    """Candidate trace-file paths for ``trace``, in resolution order."""
+    from repro.telemetry import TRACE_SUFFIX, trace_path_for
+
+    if args.store:
+        return [trace_path_for(args.store)]
+    if args.campaign and os.path.exists(args.campaign):
+        path = args.campaign
+        return [path if path.endswith(TRACE_SUFFIX) else trace_path_for(path)]
+    if args.campaign:
+        return [os.path.join(args.store_dir, f"{args.campaign}{TRACE_SUFFIX}"),
+                trace_path_for(f"{args.campaign}.campaign.jsonl")]
+    if os.path.isdir(args.store_dir):
+        return sorted(
+            os.path.join(args.store_dir, name)
+            for name in os.listdir(args.store_dir)
+            if name.endswith(TRACE_SUFFIX))
+    return []
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import read_spans, render_traces
+
+    candidates = _trace_candidates(args)
+    paths = [path for path in candidates if os.path.exists(path)]
+    if args.campaign or args.store:
+        # named lookups are a fallback chain: first hit wins (the same
+        # file can be reachable through several candidate paths)
+        paths = paths[:1]
+    if not paths:
+        tried = ", ".join(candidates) if candidates else args.store_dir
+        print(f"error: no trace file found (looked at: {tried}); traces are "
+              f"written next to the campaign store when telemetry is enabled",
+              file=sys.stderr)
+        return 2
+    spans = []
+    for path in paths:
+        spans.extend(read_spans(path))
+    if args.json:
+        for span in spans:
+            print(json.dumps(span.to_dict(), sort_keys=True))
+        return 0
+    rendered = render_traces(spans, run_id=args.run)
+    if not rendered:
+        what = f"run {args.run!r}" if args.run else "any spans"
+        print(f"error: no trace matches {what} in "
+              f"{', '.join(paths)}", file=sys.stderr)
+        return 2
+    print(rendered)
+    return 0
 
 
 def _cmd_presets(_: argparse.Namespace) -> int:
@@ -773,6 +883,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "campaign": _cmd_campaign,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
     "presets": _cmd_presets,
     "fom-scan": _cmd_fom_scan,
     "streaming-study": _cmd_streaming_study,
@@ -786,8 +897,15 @@ _COMMANDS = {
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.utils.logging import setup_logging
+
     parser = _build_parser()
     args = parser.parse_args(argv)
+    try:
+        setup_logging(args.log_level)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return _COMMANDS[args.command](args)
 
 

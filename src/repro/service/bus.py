@@ -33,8 +33,16 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.telemetry import REGISTRY
+
 #: Default per-subscriber queue capacity.
 DEFAULT_QUEUE_SIZE = 256
+
+_BUS_PUBLISHED = REGISTRY.counter(
+    "repro_bus_events_total", "Events published on the run event bus, by kind")
+_BUS_DROPPED = REGISTRY.counter(
+    "repro_bus_dropped_total",
+    "Events dropped by full subscriber queues, by kind")
 
 
 @dataclass(frozen=True)
@@ -69,13 +77,16 @@ class Subscription:
         except queue.Empty:
             return None
 
-    def _offer(self, event: BusEvent) -> None:
+    def _offer(self, event: BusEvent) -> bool:
+        """Enqueue without blocking; ``False`` when the event was dropped."""
         try:
             self._queue.put_nowait(event)
+            return True
         except queue.Full:
             with self._lock:
                 self.dropped += 1
                 self._dropped_unreported += 1
+            return False
 
     def take_dropped(self) -> int:
         """Drops since the last call (what the SSE layer reports), then 0."""
@@ -105,6 +116,7 @@ class RunEventBus:
         self._history: Dict[str, List[BusEvent]] = {}
         self._subscribers: Dict[str, List[Subscription]] = {}
         self._seq: Dict[str, "itertools.count[int]"] = {}
+        self._dropped: Dict[str, int] = {}
 
     # -- publishing --------------------------------------------------------- #
     def publish(self, topic: str, kind: str,
@@ -121,8 +133,13 @@ class RunEventBus:
         with self._lock:
             event = self._append(topic, kind, data)
             subscribers = list(self._subscribers.get(topic, ()))
-        for subscription in subscribers:
-            subscription._offer(event)
+        _BUS_PUBLISHED.inc(1, kind=kind)
+        drops = sum(1 for subscription in subscribers
+                    if not subscription._offer(event))
+        if drops:
+            _BUS_DROPPED.inc(drops, kind=kind)
+            with self._lock:
+                self._dropped[topic] = self._dropped.get(topic, 0) + drops
         return event
 
     def seed(self, topic: str, kind: str, data: Dict[str, object]) -> BusEvent:
@@ -173,6 +190,18 @@ class RunEventBus:
         """Open subscriptions on a topic (the SSE test hooks poll this)."""
         with self._lock:
             return len(self._subscribers.get(topic, ()))
+
+    def dropped_count(self, topic: str) -> int:
+        """Total events dropped on a topic across every subscriber."""
+        with self._lock:
+            return self._dropped.get(topic, 0)
+
+    def topic_stats(self, topic: str) -> Dict[str, int]:
+        """JSON-able per-topic accounting: events, subscribers, drops."""
+        with self._lock:
+            return {"events": len(self._history.get(topic, ())),
+                    "subscribers": len(self._subscribers.get(topic, ())),
+                    "dropped": self._dropped.get(topic, 0)}
 
     def history(self, topic: str) -> List[BusEvent]:
         """A snapshot of the topic's full event history."""

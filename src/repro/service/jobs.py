@@ -115,6 +115,9 @@ class CampaignJob:
         self.worker = worker
         self.executor_options = dict(executor_options or {})
         self.error: Optional[str] = None
+        #: accumulated executor counter deltas of this job's launches
+        #: (``WorkerPoolExecutor.last_stats`` summed over chunks)
+        self.executor_stats: Dict[str, int] = {}
         self.runs = spec.resolve()
         self._lock = threading.RLock()
         self._cancel = threading.Event()
@@ -221,6 +224,7 @@ class CampaignJob:
                              worker=self.worker, on_record=self._publish,
                              runs=batch, completed_ids=frozenset(),
                              cache=cache)
+                self._accumulate_stats(getattr(executor, "last_stats", None))
                 position += len(batch)
             completed = sum(1 for record in self._records.values()
                             if record.completed)
@@ -230,6 +234,18 @@ class CampaignJob:
             logger.exception("campaign %s: launch died", self.id)
             self.error = f"{type(exc).__name__}: {exc}"
             self._finish(STATE_FAILED)
+
+    def _accumulate_stats(self, last_stats: Optional[Dict[str, int]]) -> None:
+        """Fold one chunk's executor counter deltas into the job totals."""
+        if not last_stats:
+            return
+        with self._lock:
+            for key, value in last_stats.items():
+                if key == "n_workers":
+                    self.executor_stats[key] = int(value)
+                elif isinstance(value, int):
+                    self.executor_stats[key] = \
+                        self.executor_stats.get(key, 0) + value
 
     def _publish(self, record) -> None:
         with self._lock:
@@ -265,9 +281,14 @@ class CampaignJob:
             state = self.state
             error = self.error
             records = list(self._records.values())
+            executor_stats = dict(self.executor_stats)
+        telemetry = {"bus": self.bus.topic_stats(self.id)}
+        if executor_stats:
+            telemetry["executor"] = executor_stats
         document = status_document(self.spec.name, len(self.runs), records,
                                    store=self.store.path,
-                                   include_records=include_records)
+                                   include_records=include_records,
+                                   telemetry=telemetry)
         document.update(campaign_id=self.id, state=state, error=error)
         return document
 

@@ -9,6 +9,7 @@ happens in :mod:`repro.service.jobs` threads:
 method    path                               meaning
 ========  =================================  =====================================
 GET       ``/v1/health``                     liveness + campaign count
+GET       ``/v1/metrics``                    Prometheus text metrics snapshot
 GET       ``/v1/campaigns``                  list campaigns (summary documents)
 POST      ``/v1/campaigns``                  submit a spec/preset → campaign id
 GET       ``/v1/campaigns/{id}``             full status (counts + per-run records)
@@ -30,7 +31,6 @@ See ``docs/service.md`` for the full API reference with curl examples.
 from __future__ import annotations
 
 import json
-import logging
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -45,9 +45,14 @@ from repro.service.jobs import (EXECUTOR_OPTION_KEYS, CampaignJob,
                                 CampaignJobManager)
 from repro.service.sse import (EVENT_DONE, EVENT_DROPPED, EVENT_RUN,
                                EVENT_SNAPSHOT, format_comment, format_event)
+from repro.telemetry import REGISTRY, get_registry
+from repro.utils.logging import get_logger
 from repro.utils.serialization import jsonable
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
+
+_REQUESTS = REGISTRY.counter(
+    "repro_service_requests_total", "HTTP requests served, by method")
 
 #: Seconds of subscriber silence between SSE keep-alive comments.
 DEFAULT_KEEPALIVE_S = 15.0
@@ -193,10 +198,24 @@ class CampaignServiceHandler(BaseHTTPRequestHandler):
             self._error(404, f"unknown campaign {campaign_id!r}")
         return job
 
+    def _send_metrics(self) -> None:
+        """Serve the process metrics registry in Prometheus text format."""
+        body = get_registry().render_prometheus().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     # -- routes ------------------------------------------------------------- #
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        """Dispatch GET routes (health, list, status, report, SSE events)."""
+        """Dispatch GET routes (health, metrics, status, report, SSE)."""
+        _REQUESTS.inc(1, method="GET")
         path = urlparse(self.path).path
+        if path == "/v1/metrics":
+            self._send_metrics()
+            return
         if path == "/v1/health":
             jobs = self.manager.jobs()
             self._send_json(200, {
@@ -230,6 +249,7 @@ class CampaignServiceHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         """Dispatch POST routes (campaign submission)."""
+        _REQUESTS.inc(1, method="POST")
         path = urlparse(self.path).path
         if path != "/v1/campaigns":
             self._error(404, f"no route for POST {path}")
@@ -247,6 +267,7 @@ class CampaignServiceHandler(BaseHTTPRequestHandler):
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
         """Dispatch DELETE routes (cooperative campaign cancel)."""
+        _REQUESTS.inc(1, method="DELETE")
         match = _CAMPAIGN_PATH.match(urlparse(self.path).path)
         if not match:
             self._error(404, f"no route for DELETE {self.path}")

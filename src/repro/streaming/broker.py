@@ -15,6 +15,13 @@ from collections import deque
 from typing import Deque, Dict, Optional
 
 from repro.streaming.step import Step
+from repro.telemetry import REGISTRY
+
+_STREAM_STEPS = REGISTRY.counter(
+    "repro_stream_steps_total",
+    "SST broker step events (written/read/discarded), by event")
+_STREAM_BYTES = REGISTRY.counter(
+    "repro_stream_bytes_total", "Bytes written through the SST brokers")
 
 
 class QueueFullPolicy(enum.Enum):
@@ -67,6 +74,7 @@ class SSTBroker:
                 if self.policy is QueueFullPolicy.DISCARD_OLDEST:
                     self._queue.popleft()
                     self.steps_discarded += 1
+                    _STREAM_STEPS.inc(1, event="discarded")
                 else:  # BLOCK
                     deadline_ok = self._not_full.wait_for(
                         lambda: len(self._queue) < self.queue_limit or self._closed,
@@ -78,6 +86,8 @@ class SSTBroker:
             self._queue.append(step)
             self.steps_written += 1
             self.bytes_written += step.nbytes
+            _STREAM_STEPS.inc(1, event="written")
+            _STREAM_BYTES.inc(step.nbytes)
             self._not_empty.notify_all()
 
     def close(self) -> None:
@@ -99,6 +109,7 @@ class SSTBroker:
                 return None  # closed and drained
             step = self._queue.popleft()
             self.steps_read += 1
+            _STREAM_STEPS.inc(1, event="read")
             self._not_full.notify_all()
             return step
 

@@ -1,0 +1,240 @@
+"""Structured spans: correlated timing trees across threads and processes.
+
+One campaign run crosses several boundaries — the scheduler resolves and
+dispatches in the parent, :func:`repro.campaign.scheduler._attempt_run`
+executes in a worker process, the record settles back in the parent — and
+a span tree ties the pieces together: every :class:`Span` carries a
+``trace_id`` (the whole launch), its own ``span_id`` and a ``parent_id``.
+
+Propagation is explicit and transport-agnostic: :func:`context_of` turns
+a span into a small JSON-able dict (``{"trace_id", "span_id"}``); a child
+created with ``span(name, ctx=that_dict)`` joins the remote trace.  The
+campaign layer rides this across the worker-pool pipe protocol by tucking
+the context into the run payload and shipping finished spans back as an
+undeclared attribute on the pickled ``RunRecord`` — no wire-format
+change, no telemetry dependency in the protocol.
+
+Recording is sink-based: spans are only captured while a sink (a
+:class:`SpanRecorder` or a
+:class:`repro.telemetry.export.TraceWriter`) is activated on the current
+thread with :func:`recording`.  No sink — for example in ordinary library
+use, or with telemetry disabled — means ``span(...)`` yields ``None`` and
+costs one thread-local read.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from repro.telemetry.state import is_enabled
+
+#: Span status values.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+def new_id() -> str:
+    """A fresh 64-bit hex id (trace or span)."""
+    return os.urandom(8).hex()
+
+
+@dataclass
+class Span:
+    """One timed operation in a trace tree.
+
+    ``start_s``/``end_s`` are wall-clock epoch seconds (spans cross
+    process boundaries, so a monotonic clock would not compare); an open
+    span has ``end_s is None``.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str = field(default_factory=new_id)
+    parent_id: Optional[str] = None
+    start_s: float = field(default_factory=time.time)
+    end_s: Optional[float] = None
+    status: str = STATUS_OK
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        """Seconds from start to end, or ``None`` while the span is open."""
+        return None if self.end_s is None else self.end_s - self.start_s
+
+    def finish(self, end_s: Optional[float] = None,
+               status: Optional[str] = None) -> "Span":
+        """Close the span (idempotent: an already-set end is kept).
+
+        Args:
+            end_s: explicit end time (default: now).
+            status: overriding status (default: keep the current one).
+
+        Returns:
+            The span itself, for chaining into a sink's ``emit``.
+        """
+        if self.end_s is None:
+            self.end_s = time.time() if end_s is None else end_s
+        if status is not None:
+            self.status = status
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """The span as a plain JSON-able dict (one trace-file row)."""
+        return {"name": self.name, "trace_id": self.trace_id,
+                "span_id": self.span_id, "parent_id": self.parent_id,
+                "start_s": self.start_s, "end_s": self.end_s,
+                "status": self.status, "attrs": dict(self.attrs)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Span":
+        """Rebuild a span from its :meth:`to_dict` row.
+
+        Raises:
+            TypeError: if ``data`` is not a span row.
+        """
+        return cls(**dict(data))
+
+
+class SpanRecorder:
+    """A sink collecting finished spans into a list (thread-safe).
+
+    The worker-side half of cross-process tracing: activated around
+    ``_attempt_run`` so the execute span (and any workflow phase
+    sub-spans) accumulate here, then travel back to the parent attached
+    to the run record.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.spans: List[Span] = []
+
+    def emit(self, span: Span) -> None:
+        """Collect one finished span."""
+        with self._lock:
+            self.spans.append(span)
+
+
+class _ThreadState(threading.local):
+    """Per-thread current sink + open-span stack."""
+
+    def __init__(self) -> None:
+        self.sink = None
+        self.stack: List[Span] = []
+
+
+_STATE = _ThreadState()
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span of the current thread, or ``None``."""
+    return _STATE.stack[-1] if _STATE.stack else None
+
+
+def context_of(span: Span) -> Dict[str, str]:
+    """The propagation context of a span (JSON-able, payload-embeddable)."""
+    return {"trace_id": span.trace_id, "span_id": span.span_id}
+
+
+@contextmanager
+def recording(sink) -> Iterator[None]:
+    """Activate a span sink on the current thread for the block's duration.
+
+    Args:
+        sink: anything with an ``emit(span)`` method — a
+            :class:`SpanRecorder` or a
+            :class:`repro.telemetry.export.TraceWriter`.
+    """
+    previous = _STATE.sink
+    _STATE.sink = sink
+    try:
+        yield
+    finally:
+        _STATE.sink = previous
+
+
+@contextmanager
+def span(name: str, attrs: Optional[Dict[str, object]] = None,
+         ctx: Optional[Mapping[str, str]] = None) -> Iterator[Optional[Span]]:
+    """Open a span under the current one (or a remote ``ctx``), then emit it.
+
+    Yields the open :class:`Span` so the body can add attributes — or
+    ``None`` when telemetry is disabled or no sink is active, in which
+    case the block runs uninstrumented.  An exception inside the block
+    marks the span ``error`` (recording the exception type) and
+    re-raises.
+
+    Args:
+        name: the span name (e.g. ``execute``).
+        attrs: initial attributes.
+        ctx: a remote parent's :func:`context_of` dict; without it the
+            parent is the thread's current span (a fresh trace id is
+            minted at the root).
+    """
+    sink = _STATE.sink
+    if sink is None or not is_enabled():
+        yield None
+        return
+    parent = current_span()
+    if ctx is not None:
+        trace_id = str(ctx["trace_id"])
+        parent_id: Optional[str] = str(ctx["span_id"])
+    elif parent is not None:
+        trace_id, parent_id = parent.trace_id, parent.span_id
+    else:
+        trace_id, parent_id = new_id(), None
+    opened = Span(name=name, trace_id=trace_id, parent_id=parent_id,
+                  attrs=dict(attrs or {}))
+    _STATE.stack.append(opened)
+    try:
+        yield opened
+    except BaseException as exc:
+        opened.attrs.setdefault("exception", type(exc).__name__)
+        opened.finish(status=STATUS_ERROR)
+        raise
+    else:
+        opened.finish()
+    finally:
+        _STATE.stack.pop()
+        sink.emit(opened)
+
+
+def add_phase_spans(phases: Mapping[str, float],
+                    attrs: Optional[Dict[str, object]] = None) -> int:
+    """Attach synthetic fixed-duration children to the current span.
+
+    The workflow layer reports *accumulated* per-phase times (PIC stepping
+    vs training) rather than live begin/end pairs, so phase sub-spans are
+    synthesised backwards from "now": each phase ends now and starts its
+    duration ago.  A no-op (returning 0) without an active span/sink or
+    with telemetry disabled — which is what makes the call site in
+    :meth:`repro.workflow.builder.WorkflowSession.run` safe for every
+    uninstrumented workflow run.
+
+    Args:
+        phases: phase name → duration in seconds (``None`` durations are
+            skipped).
+        attrs: extra attributes stamped on every phase span.
+
+    Returns:
+        The number of spans emitted.
+    """
+    sink = _STATE.sink
+    parent = current_span()
+    if sink is None or parent is None or not is_enabled():
+        return 0
+    now = time.time()
+    emitted = 0
+    for name, duration in phases.items():
+        if duration is None:
+            continue
+        duration = max(0.0, float(duration))
+        sink.emit(Span(name=name, trace_id=parent.trace_id,
+                       parent_id=parent.span_id, start_s=now - duration,
+                       end_s=now, attrs=dict(attrs or {})))
+        emitted += 1
+    return emitted

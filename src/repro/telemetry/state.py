@@ -1,0 +1,58 @@
+"""The telemetry on/off switch shared by metrics and spans.
+
+Instrumentation is **opt-out-able**: every metric update and span
+creation first consults :func:`is_enabled`, so a disabled process pays
+one function call and a boolean test per instrumentation site — nothing
+is allocated, locked or written.  The switch starts from the
+``REPRO_TELEMETRY`` environment variable (``0``/``false``/``off``/``no``
+disable it; anything else — including unset — enables it), which is what
+lets spawned worker processes inherit the operator's choice, and can be
+flipped at runtime with :func:`set_enabled` or scoped with
+:func:`disabled` (the benchmark harnesses use the latter so timed
+sections never measure the instrumentation itself).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_FALSY = frozenset({"0", "false", "off", "no"})
+
+_enabled = os.environ.get("REPRO_TELEMETRY", "").strip().lower() not in _FALSY
+
+
+def is_enabled() -> bool:
+    """Whether telemetry (metrics updates + span recording) is active."""
+    return _enabled
+
+
+def set_enabled(value: bool) -> bool:
+    """Turn telemetry on or off process-wide.
+
+    Args:
+        value: the new state.
+
+    Returns:
+        The previous state, so callers can restore it
+        (``previous = set_enabled(False) ... set_enabled(previous)``).
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(value)
+    return previous
+
+
+@contextmanager
+def disabled():
+    """Context manager: telemetry off inside the block, restored after.
+
+    Used by the benchmark harnesses around their timed sections — the
+    guard that "no measurable overhead when disabled" is actually what
+    the persisted perf trajectories measure.
+    """
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

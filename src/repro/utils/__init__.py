@@ -1,7 +1,8 @@
 """Shared utilities: deterministic RNG, timers, validation, serialisation,
-persisted benchmark histories."""
+persisted benchmark histories, logging setup."""
 
 from repro.utils.benchjson import append_run, bench_path, latest_run, load_history
+from repro.utils.logging import get_logger, setup_logging
 from repro.utils.rng import RandomState, seeded_rng, spawn_rngs
 from repro.utils.serialization import jsonable
 from repro.utils.timer import Timer, WallClock, timed
@@ -17,6 +18,8 @@ __all__ = [
     "bench_path",
     "latest_run",
     "load_history",
+    "get_logger",
+    "setup_logging",
     "RandomState",
     "seeded_rng",
     "spawn_rngs",

@@ -45,6 +45,7 @@ from repro.radiation.detector import RadiationDetector
 from repro.streaming.broker import QueueFullPolicy, SSTBroker
 from repro.streaming.dataplane import make_data_plane
 from repro.streaming.engine import SSTReaderEngine, SSTWriterEngine
+from repro.telemetry import add_phase_spans
 from repro.utils.rng import derive_seed, seeded_rng
 from repro.workflow.consumers import (ConsumerFactory, MLAppConsumer, StreamConsumer,
                                       get_consumer_factory)
@@ -177,6 +178,12 @@ class WorkflowSession:
         for consumer in self.consumers.values():
             consumer.configure_run(keep_for_evaluation)
         result = self.driver.execute(self, n_steps)
+        report = getattr(result, "report", None)
+        if report is not None:
+            # phase sub-spans of the surrounding execute span (no-op when
+            # nothing is tracing): where this run's wall time actually went
+            add_phase_spans({"pic": getattr(report, "simulation_time", None),
+                             "train": getattr(report, "training_time", None)})
         for hook in self.hooks.on_run_end:
             hook(self, result)
         return result

@@ -3,10 +3,10 @@
 Two checks back the ``docs/`` tree:
 
 * **docstring coverage** — every public class/function of the
-  ``repro.campaign`` and ``repro.service`` packages (and the public
-  methods/properties they define) carries a docstring.  These packages
-  are the public scaling + control-plane API; an undocumented symbol
-  there is a regression.
+  ``repro.campaign``, ``repro.service`` and ``repro.telemetry`` packages
+  (and the public methods/properties they define) carries a docstring.
+  These packages are the public scaling + control-plane + observability
+  API; an undocumented symbol there is a regression.
 * **intra-repo links** — every relative markdown link in ``README.md``
   and ``docs/*.md`` resolves to an existing file, so the docs tree cannot
   silently rot as files move.
@@ -23,7 +23,7 @@ from pathlib import Path
 import pytest
 
 #: The packages whose public API must be fully docstring-covered.
-DOCUMENTED_PACKAGES = ("repro.campaign", "repro.service")
+DOCUMENTED_PACKAGES = ("repro.campaign", "repro.service", "repro.telemetry")
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -131,5 +131,5 @@ def test_intra_repo_markdown_links_resolve(md_file):
 def test_docs_tree_is_present():
     """The documented entry points of the docs tree must exist."""
     for page in ("architecture.md", "campaigns.md", "extending-executors.md",
-                 "service.md"):
+                 "observability.md", "service.md"):
         assert (REPO_ROOT / "docs" / page).exists(), f"docs/{page} is missing"

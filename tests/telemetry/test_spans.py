@@ -1,0 +1,152 @@
+"""Unit tests of spans, trace export and the trace renderer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (Span, SpanRecorder, TraceWriter, add_phase_spans,
+                             context_of, current_span, disabled, new_id,
+                             read_spans, recording, render_traces, span,
+                             trace_path_for)
+
+
+class TestSpanBasics:
+    def test_nesting_builds_parent_links_and_one_trace(self):
+        recorder = SpanRecorder()
+        with recording(recorder):
+            with span("outer") as outer:
+                with span("inner") as inner:
+                    assert current_span() is inner
+                    assert inner.parent_id == outer.span_id
+                    assert inner.trace_id == outer.trace_id
+        names = [s.name for s in recorder.spans]
+        assert names == ["inner", "outer"]          # emitted on close
+        assert all(s.end_s is not None for s in recorder.spans)
+
+    def test_no_sink_yields_none(self):
+        with span("anything") as opened:
+            assert opened is None
+        assert current_span() is None
+
+    def test_disabled_yields_none_even_with_sink(self):
+        recorder = SpanRecorder()
+        with recording(recorder), disabled():
+            with span("x") as opened:
+                assert opened is None
+        assert recorder.spans == []
+
+    def test_remote_ctx_overrides_local_parent(self):
+        recorder = SpanRecorder()
+        remote = Span(name="dispatch", trace_id=new_id())
+        with recording(recorder):
+            with span("execute", ctx=context_of(remote)) as execute:
+                assert execute.trace_id == remote.trace_id
+                assert execute.parent_id == remote.span_id
+
+    def test_exception_marks_error_and_reraises(self):
+        recorder = SpanRecorder()
+        with recording(recorder):
+            with pytest.raises(RuntimeError):
+                with span("boom"):
+                    raise RuntimeError("kaboom")
+        (emitted,) = recorder.spans
+        assert emitted.status == "error"
+        assert emitted.attrs["exception"] == "RuntimeError"
+
+    def test_to_dict_roundtrip(self):
+        original = Span(name="x", trace_id=new_id(),
+                        attrs={"run_id": "abc"}).finish()
+        clone = Span.from_dict(json.loads(json.dumps(original.to_dict())))
+        assert clone == original
+
+    def test_finish_is_idempotent(self):
+        opened = Span(name="x", trace_id=new_id())
+        first_end = opened.finish(end_s=123.0).end_s
+        assert opened.finish().end_s == first_end
+        assert opened.duration_s is not None
+
+
+class TestPhaseSpans:
+    def test_phases_become_children_of_current_span(self):
+        recorder = SpanRecorder()
+        with recording(recorder):
+            with span("execute") as execute:
+                emitted = add_phase_spans({"pic": 1.5, "train": 2.0,
+                                           "skipped": None})
+        assert emitted == 2
+        phases = {s.name: s for s in recorder.spans if s.name != "execute"}
+        assert set(phases) == {"pic", "train"}
+        for phase in phases.values():
+            assert phase.parent_id == execute.span_id
+        assert phases["pic"].duration_s == pytest.approx(1.5)
+
+    def test_negative_durations_clamp_to_zero(self):
+        recorder = SpanRecorder()
+        with recording(recorder):
+            with span("execute"):
+                assert add_phase_spans({"pic": -0.5}) == 1
+        phase = next(s for s in recorder.spans if s.name == "pic")
+        assert phase.duration_s == 0.0
+
+    def test_noop_without_parent_or_sink(self):
+        assert add_phase_spans({"pic": 1.0}) == 0
+        recorder = SpanRecorder()
+        with recording(recorder):
+            assert add_phase_spans({"pic": 1.0}) == 0   # no open span
+
+
+class TestExport:
+    def test_trace_path_for_variants(self):
+        assert trace_path_for("x.campaign.jsonl") == "x.trace.jsonl"
+        assert trace_path_for("dir/y.jsonl") == "dir/y.trace.jsonl"
+        assert trace_path_for("plain") == "plain.trace.jsonl"
+
+    def test_writer_roundtrip_and_lazy_creation(self, tmp_path):
+        path = tmp_path / "deep" / "t.trace.jsonl"
+        writer = TraceWriter(path)
+        assert not path.parent.exists()       # nothing until the first emit
+        first = Span(name="a", trace_id=new_id()).finish()
+        with writer:
+            writer.emit(first)
+            writer.emit(Span(name="b", trace_id=first.trace_id,
+                             parent_id=first.span_id).finish())
+        spans = read_spans(path)
+        assert [s.name for s in spans] == ["a", "b"]
+        assert spans[0] == first
+
+    def test_read_skips_corrupt_lines(self, tmp_path):
+        path = tmp_path / "t.trace.jsonl"
+        good = Span(name="ok", trace_id=new_id()).finish()
+        path.write_text(json.dumps(good.to_dict()) + "\n"
+                        + "{torn line\n\n" + '{"not": "a span"}\n')
+        spans = read_spans(path)
+        assert [s.name for s in spans] == ["ok"]
+
+
+class TestRender:
+    def _trace(self):
+        root = Span(name="campaign", trace_id=new_id(),
+                    attrs={"campaign": "smoke"}).finish()
+        child = Span(name="dispatch", trace_id=root.trace_id,
+                     parent_id=root.span_id,
+                     attrs={"run_id": "abcdef0123456789"}).finish()
+        grand = Span(name="execute", trace_id=root.trace_id,
+                     parent_id=child.span_id, status="error",
+                     attrs={"exception": "RuntimeError"}).finish()
+        return [grand, child, root]            # emit order: leaves first
+
+    def test_tree_shape_and_markers(self):
+        rendered = render_traces(self._trace())
+        lines = rendered.splitlines()
+        assert lines[0].startswith("trace ")
+        assert "campaign" in lines[1]
+        assert "dispatch" in lines[2] and "run_id=abcdef012345" in lines[2]
+        assert "execute" in lines[3] and "!" in lines[3]   # error marker
+        assert lines[3].index("execute") > lines[2].index("dispatch")
+
+    def test_run_id_prefix_filter(self):
+        spans = self._trace()
+        assert render_traces(spans, run_id="abcdef") != ""
+        assert render_traces(spans, run_id="ffff") == ""
